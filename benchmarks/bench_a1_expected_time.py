@@ -1,0 +1,63 @@
+"""A1 (ablation) — exact expected convergence time vs Monte Carlo.
+
+Validates the simulation substrate against ground truth: the expected
+interactions-to-stabilisation solved exactly from the Markov chain
+(analysis.expected_time) versus the Monte Carlo estimate from the
+count-based scheduler.  The two must agree within sampling error; the
+bench also times both, showing where each approach wins (exact: tiny
+populations; Monte Carlo: everything else).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro import binary_threshold
+from repro.analysis.expected_time import expected_convergence_time
+from repro.fmt import render_table, section
+from repro.simulation import CountScheduler
+
+PROTOCOL = binary_threshold(4)
+
+
+@pytest.mark.parametrize("inputs", [4, 5, 6])
+def test_a1_exact_timing(benchmark, inputs):
+    result = benchmark(expected_convergence_time, PROTOCOL, inputs)
+    assert result.interactions > 0
+
+
+@pytest.mark.parametrize("inputs", [4, 6])
+def test_a1_monte_carlo_timing(benchmark, inputs):
+    def run_batch():
+        total = 0
+        for seed in range(20):
+            total += CountScheduler(PROTOCOL, seed=seed).run(inputs, max_steps=100_000).interactions
+        return total / 20
+
+    mean = benchmark(run_batch)
+    assert mean > 0
+
+
+def test_a1_report():
+    rows = []
+    for inputs in (4, 5, 6, 7):
+        exact = expected_convergence_time(PROTOCOL, inputs)
+        samples = [
+            CountScheduler(PROTOCOL, seed=seed).run(inputs, max_steps=200_000).interactions
+            for seed in range(200)
+        ]
+        mean = statistics.fmean(samples)
+        stderr = statistics.stdev(samples) / (len(samples) ** 0.5)
+        rows.append(
+            [
+                inputs,
+                f"{exact.interactions:.2f}",
+                f"{mean:.2f} +- {stderr:.2f}",
+                f"{abs(mean - exact.interactions) / max(stderr, 1e-9):.1f}",
+            ]
+        )
+        assert abs(mean - exact.interactions) < 6 * stderr + 2.0
+    print(section("A1 — exact expected interactions vs Monte Carlo (binary(4))"))
+    print(render_table(["input", "exact E[interactions]", "Monte Carlo (200 runs)", "|z|"], rows))

@@ -1,0 +1,57 @@
+"""A4 (ablation) — the Presburger compiler: state cost of boolean structure.
+
+The compiler realises the constructive half of Angluin et al. [8]
+(population protocols compute all Presburger predicates), paying a
+*multiplicative* state cost per boolean combinator — the baseline the
+succinct protocols of [11, 12] (and ultimately the paper's
+state-complexity question) are measured against.  This bench compiles
+a ladder of predicates, reports raw vs coverable state counts, and
+verifies each exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import verify_protocol
+from repro.core.parser import parse_predicate
+from repro.fmt import render_table, section
+from repro.protocols.compiler import compile_predicate
+
+LADDER = [
+    "x >= 3",
+    "x = 1 (mod 3)",
+    "x >= 3 and x = 1 (mod 3)",
+    "x >= 3 or x = 1 (mod 3)",
+    "not (x >= 3) and x = 1 (mod 3)",
+    "x - y >= 1",
+    "x - y >= 1 and x + y = 0 (mod 2)",
+]
+
+
+@pytest.mark.parametrize("text", LADDER[:4])
+def test_a4_compile_timing(benchmark, text):
+    predicate = parse_predicate(text)
+    protocol = benchmark(compile_predicate, predicate)
+    assert protocol.num_states >= 1
+
+
+@pytest.mark.parametrize("text", LADDER)
+def test_a4_compiled_protocols_verified(text):
+    predicate = parse_predicate(text)
+    protocol = compile_predicate(predicate).restricted_to_coverable()
+    report = verify_protocol(protocol, predicate, max_input_size=6)
+    assert report.ok, (text, report.counterexample)
+
+
+def test_a4_report():
+    rows = []
+    for text in LADDER:
+        predicate = parse_predicate(text)
+        protocol = compile_predicate(predicate)
+        trimmed = protocol.restricted_to_coverable()
+        rows.append([text, protocol.num_states, trimmed.num_states])
+    print(section("A4 — compiler state costs (raw product vs coverable)"))
+    print(render_table(["predicate", "states", "coverable states"], rows))
+    print("multiplicative blow-up per combinator: the baseline that makes")
+    print("succinctness (the paper's subject) a real question.")

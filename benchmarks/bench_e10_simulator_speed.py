@@ -1,0 +1,94 @@
+"""E10 — simulator throughput: the "too slow for large populations" ladder.
+
+Reproduction-brief context: pure-Python per-interaction simulation
+cannot reach chemically interesting population sizes.  This bench
+quantifies the ladder: the agent-list baseline, the exact count-based
+sampler, and the tau-leaping batch simulator, in interactions/second
+and in wall-clock time to a fixed amount of parallel time.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import binary_threshold
+from repro.fmt import render_table, section
+from repro.simulation import AgentListScheduler, BatchScheduler, CountScheduler
+
+PROTOCOL = binary_threshold(8)
+
+
+def drive_agent_list(n: int, interactions: int) -> None:
+    scheduler = AgentListScheduler(PROTOCOL, seed=0)
+    scheduler.reset(n)
+    for _ in range(interactions):
+        scheduler.step()
+
+
+def drive_count(n: int, interactions: int) -> None:
+    scheduler = CountScheduler(PROTOCOL, seed=0)
+    scheduler.reset(n)
+    for _ in range(interactions):
+        scheduler.step()
+
+
+def drive_batch(n: int, interactions: int) -> None:
+    scheduler = BatchScheduler(PROTOCOL, seed=0, epsilon=0.05)
+    scheduler.reset(n)
+    done = 0
+    leap = max(1, int(0.05 * n))
+    while done < interactions:
+        done += scheduler.leap(min(leap, interactions - done))
+
+
+@pytest.mark.parametrize("n", [1_000, 10_000])
+def test_e10_agent_list(benchmark, n):
+    benchmark(drive_agent_list, n, 5_000)
+
+
+@pytest.mark.parametrize("n", [1_000, 10_000])
+def test_e10_count(benchmark, n):
+    benchmark(drive_count, n, 5_000)
+
+
+@pytest.mark.parametrize("n", [10_000, 100_000, 1_000_000])
+def test_e10_batch(benchmark, n):
+    benchmark(drive_batch, n, 5 * n)
+
+
+def test_e10_report():
+    rows = []
+    for n in (1_000, 10_000, 100_000):
+        budget = 2 * n  # two units of parallel time
+        timings = {}
+        for name, driver in (
+            ("agent list", drive_agent_list),
+            ("count", drive_count),
+            ("batch", drive_batch),
+        ):
+            if name != "batch" and n > 10_000:
+                timings[name] = None
+                continue
+            t0 = time.perf_counter()
+            driver(n, budget)
+            timings[name] = time.perf_counter() - t0
+        rows.append(
+            [
+                n,
+                budget,
+                *(
+                    f"{timings[k]:.3f}s" if timings[k] is not None else "(skipped)"
+                    for k in ("agent list", "count", "batch")
+                ),
+            ]
+        )
+    print(section("E10 — simulator ladder: wall clock for 2 units of parallel time"))
+    print(render_table(["n", "interactions", "agent list", "count-based", "batch"], rows))
+    # The batch simulator must dominate at scale.
+    t0 = time.perf_counter()
+    drive_batch(1_000_000, 1_000_000)
+    batch_big = time.perf_counter() - t0
+    print(f"batch at n=10^6: 10^6 interactions in {batch_big:.2f}s")
+    assert batch_big < 30

@@ -1,0 +1,47 @@
+"""E1 — Example 2.1: P_k vs P'_k, state counts and verified correctness.
+
+Paper claim: ``P_k`` computes ``x >= 2^k`` with ``2^k + 1`` states;
+``P'_k`` computes the same with ``k + O(1)`` states (the displayed
+state set ``{0, 2^0, ..., 2^k}`` has ``k + 2`` elements).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import counting, example_2_1_binary, example_2_1_flat, verify_protocol
+from repro.fmt import render_table, section
+
+
+def verify_both(k: int):
+    eta = 2**k
+    flat = example_2_1_flat(k)
+    binary = example_2_1_binary(k)
+    flat_report = verify_protocol(flat, counting(eta), max_input_size=eta + 2)
+    binary_report = verify_protocol(binary, counting(eta), max_input_size=eta + 2)
+    return flat, binary, flat_report, binary_report
+
+
+@pytest.mark.parametrize("k", [1, 2, 3])
+def test_e1_verify_families(benchmark, k):
+    flat, binary, flat_report, binary_report = benchmark(verify_both, k)
+    assert flat_report.ok and binary_report.ok
+    assert flat.num_states == 2**k + 1
+    assert binary.num_states == k + 2
+
+
+def test_e1_report():
+    rows = []
+    for k in range(1, 5):
+        flat, binary, flat_report, binary_report = verify_both(k)
+        rows.append(
+            [
+                k,
+                2**k,
+                f"{flat.num_states} ({'ok' if flat_report.ok else 'FAIL'})",
+                f"{binary.num_states} ({'ok' if binary_report.ok else 'FAIL'})",
+            ]
+        )
+        assert flat_report.ok and binary_report.ok
+    print(section("E1 — Example 2.1 state counts (paper: 2^k+1 vs k+O(1))"))
+    print(render_table(["k", "eta", "|P_k| states", "|P'_k| states"], rows))

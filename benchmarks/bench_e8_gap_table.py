@@ -1,0 +1,55 @@
+"""E8 — the busy beaver gap: Omega(2^n) vs 2^((2n+2)!) (and the leader side).
+
+This is the paper's "figure": the distance between the best known
+lower bounds (Theorem 2.2) and the new upper bounds (Theorems 4.5 and
+5.9), as a table over ``n``.  The leader column reports the shape of
+``BB_L``: lower bound ``2^(2^n)`` [12] vs an ``F_omega``-level upper
+bound — we print the tower heights and the Fast Growing Hierarchy
+values that are still representable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bounds import gap_table
+from repro.bounds.constants import log2_theorem_5_9_final
+from repro.core.errors import UnrepresentableNumber
+from repro.fmt import render_table, section
+from repro.wqo.fgh import fast_growing
+
+
+def test_e8_gap_table_timing(benchmark):
+    rows = benchmark(gap_table, range(3, 12))
+    assert len(rows) == 9
+
+
+def test_e8_gap_grows_factorially():
+    rows = gap_table(range(3, 10))
+    ratios = [
+        rows[i + 1].log2_upper / rows[i].log2_upper for i in range(len(rows) - 1)
+    ]
+    # (2n+4)!/(2n+2)! = (2n+3)(2n+4): super-linear growth of the exponent
+    assert all(r > 20 for r in ratios)
+
+
+def test_e8_report():
+    print(section("E8 — the gap tables (leaderless and leaders)"))
+    rows = []
+    for row in gap_table(range(3, 12)):
+        rows.append(
+            [row.n, row.lower_eta.bit_length() - 1, row.log2_upper]
+        )
+    print("leaderless: log2 BB(n) is between the two columns")
+    print(render_table(["n", "log2 lower (witnessed)", "log2 upper = (2n+2)!"], rows))
+
+    print()
+    print("with leaders: BB_L(n) >= 2^(2^n) [12]; upper bound at level F_omega")
+    rows = []
+    for n in range(1, 6):
+        try:
+            f_value = str(fast_growing(min(n, 3), n, limit=10**40))
+        except UnrepresentableNumber:
+            f_value = "(beyond 10^40)"
+        rows.append([n, f"2^{2**n}", f"F_{min(n, 3)}({n}) = {f_value}"])
+    print(render_table(["n", "lower bound", "FGH sample (level capped at 3 for display)"], rows))

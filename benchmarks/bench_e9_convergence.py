@@ -1,0 +1,65 @@
+"""E9 — parallel-time scaling: the O(n log n) claim of [6] quoted in §1.
+
+Paper context: every Presburger predicate is decidable in O(n log n)
+*total interactions*, i.e. O(log n) parallel time.  We measure parallel
+time to silent consensus for an epidemic-style protocol (a leader
+counting to a fixed threshold + broadcast), whose convergence is
+Theta(log n) parallel time, and fit ``c * log2(n) + d``.
+
+The 4-state majority protocol is measured on a wide margin only: on
+narrow margins its follower dynamics is an adverse random walk and
+convergence is exponential — the time/state trade-off the fast
+protocols of [7] (tens of thousands of states) exist to avoid.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fmt import render_table, section
+from repro.protocols.leaders import leader_unary_threshold
+from repro.protocols.majority import majority_protocol
+from repro.simulation import convergence_scaling, fit_nlogn, measure_convergence
+
+SIZES = [32, 64, 128, 256]
+
+
+def test_e9_epidemic_scaling_timing(benchmark):
+    protocol = leader_unary_threshold(3)
+    stats = benchmark(
+        convergence_scaling, protocol, lambda n: n, [32, 64], 3
+    )
+    assert all(s.all_converged for s in stats)
+
+
+def test_e9_logarithmic_fit():
+    protocol = leader_unary_threshold(3)
+    stats = convergence_scaling(protocol, lambda n: n, SIZES, trials=4)
+    assert all(s.all_converged for s in stats)
+    c, d = fit_nlogn(stats)
+    # parallel time grows: more than flat, far less than linear in n
+    assert stats[-1].mean_parallel_time > stats[0].mean_parallel_time * 0.5
+    assert stats[-1].mean_parallel_time < stats[0].mean_parallel_time * (
+        SIZES[-1] / SIZES[0]
+    )
+
+
+def test_e9_report():
+    protocol = leader_unary_threshold(3)
+    stats = convergence_scaling(protocol, lambda n: n, SIZES, trials=4)
+    c, d = fit_nlogn(stats)
+    rows = [
+        [s.population, f"{s.mean_parallel_time:.1f}", f"{s.stdev_parallel_time:.1f}",
+         f"{s.per_log_n:.2f}", "yes" if s.all_converged else "no"]
+        for s in stats
+    ]
+    print(section("E9 — parallel time to consensus (epidemic-style protocol)"))
+    print(render_table(["n", "mean parallel time", "stdev", "per log2(n)", "converged"], rows))
+    print(f"fit: parallel_time ~ {c:.2f} * log2(n) + {d:.2f}")
+    print()
+    wide = measure_convergence(majority_protocol(), {"x": 90, "y": 10}, trials=3)
+    print(
+        f"majority, wide margin (90/10, n=100): {wide.mean_parallel_time:.1f} parallel time, "
+        f"converged={wide.all_converged}"
+    )
+    print("majority, narrow margin: exponential — see module docstring")

@@ -1,0 +1,11 @@
+"""Benchmark-suite configuration.
+
+Every module here regenerates one experiment of EXPERIMENTS.md (the
+paper has no empirical tables; the experiments are the constructive
+content of its theorems — see DESIGN.md §4 for the index).  Benchmarks
+both *time* the pipelines (pytest-benchmark) and *assert* the
+qualitative claims, so `pytest benchmarks/ --benchmark-only` doubles as
+a reproduction check.  Run with `-s` to see the rendered tables.
+"""
+
+from __future__ import annotations

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""The paper's proofs, executed: pumping certificates for a real protocol.
+
+Walks the two upper-bound arguments of the paper on the concrete
+protocol ``binary_threshold(4)`` (the paper's ``P'_2``), printing every
+intermediate object:
+
+* **Section 5 route** (leaderless): Lemma 5.4 saturation, Lemma 5.5
+  concentration, Corollary 5.7 Hilbert basis, and the final Lemma 5.2
+  certificate proving ``eta <= a``;
+* **Section 4 route** (works with leaders too): the Lemma 4.2 stable
+  sequence ``C_2, C_3, ...``, Dickson's ordered pair, and the Lemma 4.1
+  certificate.
+
+Every certificate is *checked*: the recorded firing sequences are
+re-fired and all side conditions re-verified.
+
+Run:  python examples/certificate_pipeline.py
+"""
+
+from repro import binary_threshold, leader_unary_threshold
+from repro.analysis import infer_basis, saturation_sequence
+from repro.analysis.concentration import best_concentration
+from repro.bounds import (
+    build_stable_sequence,
+    log2_theorem_5_9_final,
+    section4_certificate,
+    section5_certificate,
+    xi,
+)
+from repro.fmt import section
+from repro.reachability import realisable_basis
+from repro.wqo.dickson import first_ordered_pair
+
+protocol = binary_threshold(4)
+print(protocol.describe())
+
+# ----------------------------------------------------------------------
+# Section 5 route, stage by stage.
+# ----------------------------------------------------------------------
+print(section("Stage 1 — Lemma 5.4: saturation"))
+sat = saturation_sequence(protocol)
+print(f"IC({sat.input_size}) reaches the 1-saturated configuration {sat.configuration.pretty()}")
+print(f"via a sequence of length {sat.sequence.length} (bound: 3^n = {3**protocol.num_states})")
+print(f"re-fired and checked: {sat.verify(protocol)}")
+
+print(section("Stage 2 — Lemma 5.5: concentrated stable configurations"))
+basis = infer_basis(protocol, b=0, slice_sizes=[2, 3, 4]) + infer_basis(
+    protocol, b=1, slice_sizes=[2, 3, 4]
+)
+for inputs in (5, 7, 9):
+    witness = best_concentration(protocol, inputs, basis)
+    print(
+        f"IC({inputs}) reaches stable {witness.configuration.pretty()} "
+        f"in basis element {witness.element} with epsilon = {witness.epsilon}"
+    )
+
+print(section("Stage 3 — Corollary 5.7: Hilbert basis of realisable multisets"))
+elements = realisable_basis(protocol)
+print(f"{len(elements)} basis elements; Pottier bound |pi| <= xi/2 = {xi(protocol) // 2}")
+for element in elements:
+    print(f"  |pi|={element.size}  i={element.input_size}  C={element.configuration.pretty()}")
+
+print(section("Stage 4 — Lemma 5.2: the saturation certificate"))
+certificate = section5_certificate(protocol, max_input=14)
+report = certificate.check()
+print(f"a = {certificate.a}, b = {certificate.b}, pi = {certificate.pi.pretty()}")
+print(f"B = {certificate.B.pretty()}, S = {sorted(map(str, certificate.S))}")
+print(f"=> {report.conclusion}")
+for note in report.notes:
+    print(f"   ({note})")
+print(
+    f"paper's worst-case a for n = {protocol.num_states}: "
+    f"2^((2n+2)!) = 2^{log2_theorem_5_9_final(protocol.num_states)}"
+)
+
+# ----------------------------------------------------------------------
+# Section 4 route (also valid with leaders).
+# ----------------------------------------------------------------------
+print(section("Section 4 route — Lemma 4.2 sequence + Dickson + Lemma 4.1"))
+sequence = build_stable_sequence(protocol, length=10)
+print("stable sequence C_2, C_3, ...:")
+for position, config in enumerate(sequence.configurations[:6]):
+    print(f"  C_{sequence.input_of(position)} = {config.pretty()}")
+pair = first_ordered_pair([c.to_vector(protocol.states) for c in sequence.configurations])
+print(f"Dickson's ordered pair at positions {pair}: "
+      f"C_{sequence.input_of(pair[0])} <= C_{sequence.input_of(pair[1])}")
+
+certificate4 = section4_certificate(protocol, max_length=14)
+report4 = certificate4.check()
+print(f"=> {report4.conclusion}  (true threshold of this protocol: 4)")
+
+print(section("Section 4 with leaders"))
+leader_protocol = leader_unary_threshold(3)
+certificate_leader = section4_certificate(leader_protocol, max_length=12)
+report_leader = certificate_leader.check()
+print(f"{leader_protocol.name}: {report_leader.conclusion}  (true threshold: 3)")
+print()
+print("Note how Section 4 applies to the leader protocol while Section 5's")
+print("machinery (saturation, IC-linearity) is leaderless-only — exactly the")
+print("split in the paper's results.")

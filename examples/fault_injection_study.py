@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Fault injection: how population protocols fail (and when they don't).
+
+Population protocols run on fragile substrates — sensor motes die,
+molecules degrade.  The model's guarantees assume a fixed population,
+so the engineering question is empirical: which faults does a protocol
+absorb, and which flip its answer?  This study injects crashes and
+state corruption into threshold and majority decisions:
+
+1. crashes *before* the decision change the question itself
+   (the surviving population is smaller);
+2. crashes *after* the accepting epidemic are harmless
+   (acceptance is absorbing);
+3. a single corrupted agent can forge acceptance — the false-positive
+   risk that motivates self-stabilising designs;
+4. majority with a wide margin absorbs substantial minority crashes.
+
+Run:  python examples/fault_injection_study.py
+"""
+
+from repro import binary_threshold, majority_protocol
+from repro.fmt import render_table, section
+from repro.simulation import corrupt, crash, run_with_faults
+
+threshold = binary_threshold(8)
+
+# ----------------------------------------------------------------------
+# 1. Early crashes change the effective input.
+# ----------------------------------------------------------------------
+print(section("1. Early crashes shrink the population below the threshold"))
+rows = []
+for crashed in (0, 2, 4, 6):
+    result = run_with_faults(
+        threshold, 12, [crash(0, count=crashed, state="2^0")] if crashed else [],
+        seed=1, max_steps=400_000,
+    )
+    rows.append(
+        [crashed, result.survivors, result.verdict,
+         "correct for survivors" if result.verdict == (1 if result.survivors >= 8 else 0)
+         else "WRONG"]
+    )
+print(render_table(["crashed at t=0", "survivors", "verdict", "assessment"], rows))
+
+# ----------------------------------------------------------------------
+# 2. Late crashes are harmless: acceptance is absorbing.
+# ----------------------------------------------------------------------
+print(section("2. Crashes after the epidemic cannot undo acceptance"))
+late = run_with_faults(threshold, 12, [crash(300_000, count=4)], seed=2, max_steps=400_000)
+print(f"12 agents decide x >= 8 -> verdict {late.verdict}; "
+      f"4 late crashes leave {late.survivors} agents, verdict still {late.verdict}")
+
+# ----------------------------------------------------------------------
+# 3. One corrupted agent forges acceptance.
+# ----------------------------------------------------------------------
+print(section("3. A single corruption can forge the answer"))
+forged = run_with_faults(
+    threshold, 5, [corrupt(0, target_state="2^3")], seed=3, max_steps=400_000
+)
+print(f"5 agents (5 < 8, should reject); one agent corrupted to the top power:")
+print(f"  verdict = {forged.verdict}  <- a false positive caused by one bad agent")
+print("  (the accepting state is a one-way epidemic; nothing audits it)")
+
+# ----------------------------------------------------------------------
+# 4. Majority absorbs minority crashes on wide margins.
+# ----------------------------------------------------------------------
+print(section("4. Wide-margin majority under minority crashes"))
+majority = majority_protocol()
+rows = []
+for crashed in (0, 5, 10, 15):
+    result = run_with_faults(
+        majority, {"x": 60, "y": 20},
+        [crash(0, count=crashed, state="A")] if crashed else [],
+        seed=4, max_steps=2_000_000,
+    )
+    rows.append([crashed, result.survivors, result.verdict])
+print(render_table(["x-agents crashed", "survivors", "verdict (1 = x wins)"], rows))
+print()
+print("Crashing 15 of 60 x-supporters still leaves 45 > 20: the answer holds.")
+print("The fragility is asymmetric: corruption of one *accepting* agent is")
+print("fatal, while crashes merely re-pose the question to the survivors.")

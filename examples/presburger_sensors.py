@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Sensor-network scenario: compound Presburger predicates by combinators.
+
+The original motivation for population protocols [5, 6]: networks of
+passively mobile sensors with tiny memory.  A flock of temperature
+sensors should raise an alarm iff
+
+    at least 5 sensors report "hot"   AND   the number of reporting
+    sensors is even (a parity handshake that rules out a known
+    single-sensor fault mode).
+
+Thresholds and modulo predicates generate all Presburger predicates
+under boolean combinations; this example builds the compound protocol
+with the product combinator, verifies it exactly, and simulates a
+sensor deployment.
+
+Run:  python examples/presburger_sensors.py
+"""
+
+from repro import counting, verify_protocol
+from repro.core.predicates import And, Modulo, Not, Or
+from repro.fmt import render_table, section
+from repro.protocols import binary_threshold, conjunction, disjunction, modulo_protocol, negation
+from repro.simulation import CountScheduler
+
+# ----------------------------------------------------------------------
+# Build: (x >= 5) and (x = 0 mod 2)
+# ----------------------------------------------------------------------
+hot_threshold = binary_threshold(5)
+parity = modulo_protocol({"x": 1}, 0, 2)
+alarm = conjunction(hot_threshold, parity)
+alarm_predicate = And(counting(5), Modulo({"x": 1}, 0, 2))
+
+print(section("The alarm protocol"))
+print(f"threshold component: {hot_threshold.num_states} states")
+print(f"parity component:    {parity.num_states} states")
+print(f"product protocol:    {alarm.num_states} states, {alarm.num_transitions} transitions")
+print(f"predicate:           {alarm_predicate}")
+
+# ----------------------------------------------------------------------
+# Verify exactly on all deployments up to 10 sensors.
+# ----------------------------------------------------------------------
+report = verify_protocol(alarm, alarm_predicate, max_input_size=10)
+report.raise_on_failure()
+print(f"verified exactly on {report.inputs_checked} deployment sizes: OK")
+
+# ----------------------------------------------------------------------
+# Simulate deployments.
+# ----------------------------------------------------------------------
+print(section("Simulated deployments"))
+rows = []
+for sensors in (4, 5, 6, 7, 8, 12):
+    result = CountScheduler(alarm, seed=11).run(sensors, max_steps=500_000)
+    verdict = alarm.output_of(result.configuration)
+    rows.append(
+        [
+            sensors,
+            alarm_predicate(sensors),
+            verdict == 1,
+            f"{result.parallel_time:.1f}",
+        ]
+    )
+print(render_table(["sensors", "predicate", "alarm raised", "parallel time"], rows))
+
+# ----------------------------------------------------------------------
+# More combinators: negation and disjunction.
+# ----------------------------------------------------------------------
+print(section("Derived predicates"))
+quiet = negation(alarm)  # "no alarm condition"
+report = verify_protocol(quiet, Not(alarm_predicate), max_input_size=9)
+print(f"negation verified: {report.ok}")
+
+either = disjunction(binary_threshold(7), modulo_protocol({"x": 1}, 0, 3))
+either_predicate = Or(counting(7), Modulo({"x": 1}, 0, 3))
+report = verify_protocol(either, either_predicate, max_input_size=9)
+print(f"disjunction ((x>=7) or (x=0 mod 3)) verified: {report.ok} "
+      f"({either.num_states} states)")
+print()
+print("Every Presburger predicate decomposes into threshold/modulo atoms")
+print("combined this way — with the product construction paying a")
+print("multiplicative state cost per combinator, another face of the")
+print("state-complexity question the paper studies.")

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists
+so that ``pip install -e .`` works on environments whose setuptools
+predates PEP 660 editable-wheel support (legacy develop installs).
+"""
+
+from setuptools import setup
+
+setup()

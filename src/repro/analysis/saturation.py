@@ -1,0 +1,189 @@
+"""Reaching saturated configurations (Lemmas 5.3 and 5.4).
+
+A configuration is *j-saturated* when every state holds at least ``j``
+agents.  Lemma 5.4 proves constructively that a leaderless protocol
+with ``n`` states and every state coverable can reach a 1-saturated
+configuration from ``IC(3^n)`` with a firing sequence of length at
+most ``3^n`` — and the proof is an algorithm, implemented here:
+
+1. start from ``C_0 = IC(1)`` (a single input agent) with the empty
+   sequence;
+2. while the support of ``C_k`` is not all of ``Q``: find a transition
+   ``t = p, q -> p', q'`` with ``p, q`` inside the support and
+   ``p'`` or ``q'`` outside (Lemma 5.3 guarantees one exists when all
+   states are coverable); triple the configuration and fire ``t``
+   once: ``C_(k+1) = 3 C_k + Delta_t``, ``sigma_(k+1) = sigma_k^3 t``;
+3. when ``C_k`` is saturated, stop.
+
+The sequence triples at every step, so it is kept *symbolically* as a
+:class:`TripledSequence`; its length ``(3^j - 1)/2`` is available in
+closed form and it can be materialised (budget permitting) to actually
+fire it — which the tests do, validating the construction end to end.
+
+Because the support strictly grows in every non-saturated step, at
+most ``n`` steps happen, giving input size and length at most ``3^n``:
+exactly the bound used in Theorem 5.9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, List, Optional, Set, Tuple
+
+from ..core.errors import ProtocolError, SearchBudgetExceeded
+from ..core.multiset import Multiset
+from ..core.protocol import PopulationProtocol, Transition
+from ..core.semantics import fire_sequence
+from ..reachability.pseudo import input_state
+
+__all__ = ["TripledSequence", "SaturationResult", "expanding_transition", "saturation_sequence"]
+
+State = Hashable
+
+
+@dataclass(frozen=True)
+class TripledSequence:
+    """The symbolic sequence ``sigma_j`` of Lemma 5.4.
+
+    Represents ``sigma_(k+1) = sigma_k^3 t_k`` for the recorded list of
+    expanding transitions ``t_0 .. t_(j-1)`` (steps where the
+    configuration was merely tripled contribute no transition and are
+    represented by ``None``).
+    """
+
+    steps: Tuple[Optional[Transition], ...]
+
+    @property
+    def length(self) -> int:
+        """``|sigma_j|`` in closed form: ``sum 3^(j-1-i) * [t_i fired]``."""
+        total = 0
+        for transition in self.steps:
+            total = 3 * total + (1 if transition is not None else 0)
+        return total
+
+    def materialise(self, budget: int = 1_000_000) -> List[Transition]:
+        """The explicit transition sequence; raises when longer than ``budget``."""
+        if self.length > budget:
+            raise SearchBudgetExceeded(
+                f"saturation sequence has length {self.length}, budget {budget}"
+            )
+        sequence: List[Transition] = []
+        for transition in self.steps:
+            sequence = sequence * 3
+            if transition is not None:
+                sequence.append(transition)
+        return sequence
+
+
+@dataclass(frozen=True)
+class SaturationResult:
+    """Outcome of the Lemma 5.4 construction.
+
+    Attributes
+    ----------
+    input_size:
+        ``3^j``: the input whose initial configuration fires the sequence.
+    sequence:
+        The symbolic firing sequence (length ``(3^j - 1)/2`` at most).
+    configuration:
+        The 1-saturated configuration reached.
+    rounds:
+        ``j``: number of construction rounds (at most ``n``).
+    """
+
+    input_size: int
+    sequence: TripledSequence
+    configuration: Multiset
+    rounds: int
+
+    def saturation_level(self) -> int:
+        """The largest ``j`` such that the final configuration is ``j``-saturated."""
+        return min(self.configuration.values())
+
+    def verify(self, protocol: PopulationProtocol, budget: int = 1_000_000) -> bool:
+        """Fire the materialised sequence from ``IC(input_size)`` and check.
+
+        Returns ``True`` when the fired execution ends exactly in the
+        claimed configuration and that configuration is 1-saturated.
+        """
+        initial = protocol.initial_configuration(self.input_size)
+        final = fire_sequence(initial, self.sequence.materialise(budget))
+        return final == self.configuration and all(
+            final[q] >= 1 for q in protocol.coverable_states()
+        )
+
+
+def expanding_transition(
+    protocol: PopulationProtocol,
+    support: Set[State],
+) -> Optional[Transition]:
+    """A transition from inside ``support`` producing a state outside it.
+
+    This is the transition whose existence Lemma 5.3 proves whenever
+    ``x in support`` is a proper subset of the coverable states.
+    Returns ``None`` when no such transition exists (then no state
+    outside ``support`` is coverable from within).
+    """
+    for transition in protocol.transitions:
+        if transition.p in support and transition.q in support:
+            if transition.p2 not in support or transition.q2 not in support:
+                return transition
+    return None
+
+
+def saturation_sequence(protocol: PopulationProtocol) -> SaturationResult:
+    """Run the constructive proof of Lemma 5.4.
+
+    Requirements: the protocol must be leaderless with a single input
+    variable.  Uncoverable states are dropped first (the paper's
+    "wlog every state is coverable"; see
+    :meth:`PopulationProtocol.restricted_to_coverable`) — the returned
+    configuration saturates the *coverable* state set.  If the
+    restriction itself leaves states that the expanding-transition scan
+    cannot reach (impossible by construction), a
+    :class:`ProtocolError` is raised.
+    """
+    if not protocol.is_leaderless:
+        raise ProtocolError("Lemma 5.4 applies to leaderless protocols only")
+    protocol = protocol.restricted_to_coverable()
+    x = input_state(protocol)
+
+    configuration = Multiset.singleton(x)  # C_0 = IC(1), |C_0| = 1 (proof-internal)
+    steps: List[Optional[Transition]] = []
+    rounds = 0
+    all_states = set(protocol.states)
+
+    while configuration.support() != all_states:
+        transition = expanding_transition(protocol, configuration.support())
+        if transition is None:
+            unreachable = all_states - configuration.support()
+            raise ProtocolError(
+                f"states {sorted(map(str, unreachable))} are not coverable from the input; "
+                "Lemma 5.4's standing assumption fails for this protocol"
+            )
+        tripled = 3 * configuration
+        if not transition.enabled_in(tripled):
+            # Cannot happen: p, q lie in the support, so 3*C has >= 3
+            # agents in p and q (>= 3 in p alone when p = q).
+            raise ProtocolError(f"internal error: {transition} not enabled in tripled configuration")
+        configuration = tripled + transition.displacement
+        steps.append(transition)
+        rounds += 1
+        if rounds > protocol.num_states:
+            raise ProtocolError(
+                "saturation did not stabilise within n rounds; support failed to grow"
+            )
+
+    while configuration.size < 2:
+        # IC(i) needs at least two agents; a plain tripling round keeps
+        # the invariant IC(3^j) --sigma--> C_j without firing anything.
+        configuration = 3 * configuration
+        steps.append(None)
+        rounds += 1
+
+    return SaturationResult(
+        input_size=3**rounds,
+        sequence=TripledSequence(tuple(steps)),
+        configuration=configuration,
+        rounds=rounds,
+    )

@@ -1,0 +1,189 @@
+"""Stable configurations (Definition 2) and their exact computation.
+
+A configuration ``C`` is *b-stable* if every configuration reachable
+from ``C`` has output ``b``; ``SC_b`` is the set of b-stable
+configurations and ``SC = SC_0 U SC_1``.  The paper's Section 3 builds
+on two structural facts, both made executable here:
+
+* ``SC_b`` is downward closed (Lemma 3.1) — verified empirically by
+  :func:`check_downward_closure`;
+* ``SC_b`` has a base of small norm (Lemma 3.2) — inferred and checked
+  by :mod:`repro.analysis.basis`.
+
+Since transitions conserve agent count, ``SC_b`` decomposes into
+slices by population size, and each slice is computable exactly:
+``C`` of size ``m`` is b-stable iff ``C`` cannot reach (inside the
+size-``m`` slice) any configuration populating a state with output
+``!= b``.  That is one backward closure from the "bad" configurations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..core.multiset import Multiset
+from ..core.protocol import IndexedProtocol, PopulationProtocol
+from ..reachability.graph import ReachabilityGraph
+
+__all__ = [
+    "is_stable",
+    "stability_of",
+    "stable_slice",
+    "StableSlice",
+    "check_downward_closure",
+]
+
+Config = Tuple[int, ...]
+
+
+def stability_of(
+    protocol: PopulationProtocol,
+    configuration: Multiset,
+    node_budget: int = 2_000_000,
+) -> Optional[int]:
+    """Return ``b`` if the configuration is b-stable, else ``None``.
+
+    Exact: explores the forward closure of the configuration.
+    """
+    indexed = protocol.indexed()
+    start = indexed.encode(configuration)
+    graph = ReachabilityGraph.from_roots(protocol, [start], node_budget=node_budget)
+    verdict = indexed.output_of(start)
+    if verdict is None:
+        return None
+    for node in graph.nodes:
+        if indexed.output_of(node) != verdict:
+            return None
+    return verdict
+
+
+def is_stable(
+    protocol: PopulationProtocol,
+    configuration: Multiset,
+    b: int,
+    node_budget: int = 2_000_000,
+) -> bool:
+    """Is the configuration b-stable (Definition 2)?"""
+    return stability_of(protocol, configuration, node_budget=node_budget) == b
+
+
+class StableSlice:
+    """The size-``m`` slice of ``SC_0``, ``SC_1`` and ``SC``.
+
+    Built by :func:`stable_slice`.  Configurations are dense tuples;
+    use :meth:`decode` / the ``*_multisets`` helpers for multisets.
+    """
+
+    def __init__(
+        self,
+        indexed: IndexedProtocol,
+        size: int,
+        stable0: FrozenSet[Config],
+        stable1: FrozenSet[Config],
+        all_configs: FrozenSet[Config],
+    ):
+        self.indexed = indexed
+        self.size = size
+        self.stable0 = stable0
+        self.stable1 = stable1
+        self.all_configs = all_configs
+
+    @property
+    def stable(self) -> FrozenSet[Config]:
+        """The slice of ``SC = SC_0 U SC_1``."""
+        return self.stable0 | self.stable1
+
+    def membership(self, configuration: Multiset) -> Optional[int]:
+        """``b`` when the configuration lies in this slice of ``SC_b``."""
+        dense = self.indexed.encode(configuration)
+        if dense in self.stable0:
+            return 0
+        if dense in self.stable1:
+            return 1
+        return None
+
+    def decode(self, config: Config) -> Multiset:
+        """Dense tuple back to a multiset over states."""
+        return self.indexed.decode(config)
+
+    def stable_multisets(self, b: int) -> List[Multiset]:
+        """The slice of ``SC_b`` as multisets (sorted for determinism)."""
+        source = self.stable0 if b == 0 else self.stable1
+        return [self.indexed.decode(c) for c in sorted(source)]
+
+    def __repr__(self) -> str:
+        return (
+            f"StableSlice(size={self.size}, |SC_0|={len(self.stable0)}, "
+            f"|SC_1|={len(self.stable1)}, total={len(self.all_configs)})"
+        )
+
+
+def stable_slice(
+    protocol: PopulationProtocol,
+    size: int,
+    node_budget: int = 2_000_000,
+) -> StableSlice:
+    """Compute the size-``size`` slices of ``SC_0`` and ``SC_1`` exactly.
+
+    One full-slice reachability graph and two backward closures: the
+    non-b-stable configurations are exactly those that can reach a
+    configuration populating some state with output ``1 - b``.
+    """
+    indexed = protocol.indexed()
+    graph = ReachabilityGraph.full_slice(protocol, size, node_budget=node_budget)
+
+    bad_for: Dict[int, List[Config]] = {0: [], 1: []}
+    for config in graph.nodes:
+        populated_outputs = {indexed.output[i] for i, c in enumerate(config) if c}
+        if 1 in populated_outputs:
+            bad_for[0].append(config)  # populates an output-1 state => not 0-stable
+        if 0 in populated_outputs:
+            bad_for[1].append(config)
+
+    unstable0 = graph.backward_closure(bad_for[0])
+    unstable1 = graph.backward_closure(bad_for[1])
+    all_configs = frozenset(graph.nodes)
+    return StableSlice(
+        indexed=indexed,
+        size=size,
+        stable0=frozenset(all_configs - unstable0),
+        stable1=frozenset(all_configs - unstable1),
+        all_configs=all_configs,
+    )
+
+
+def check_downward_closure(
+    protocol: PopulationProtocol,
+    max_size: int,
+    b: int,
+    min_size: int = 2,
+    node_budget: int = 2_000_000,
+) -> Optional[Tuple[Multiset, Multiset]]:
+    """Empirically check Lemma 3.1 on all slices up to ``max_size``.
+
+    Returns ``None`` when downward closure holds (as it must); if a
+    violating pair ``C' <= C`` with ``C`` stable but ``C'`` not is ever
+    found, it is returned — that would falsify Lemma 3.1 (or reveal a
+    bug in the slice computation; the property tests rely on this).
+
+    Only pairs whose smaller member still has size >= ``min_size`` are
+    considered (configurations need two agents).
+    """
+    slices = {m: stable_slice(protocol, m, node_budget=node_budget) for m in range(min_size, max_size + 1)}
+    indexed = protocol.indexed()
+    for m in range(min_size, max_size + 1):
+        sl = slices[m]
+        stable_sets = {0: sl.stable0, 1: sl.stable1}
+        for config in stable_sets[b]:
+            # remove one agent in every possible way
+            for i, count in enumerate(config):
+                if count == 0:
+                    continue
+                smaller = tuple(c - 1 if j == i else c for j, c in enumerate(config))
+                if sum(smaller) < min_size:
+                    continue
+                smaller_slice = slices[m - 1]
+                smaller_set = smaller_slice.stable0 if b == 0 else smaller_slice.stable1
+                if smaller not in smaller_set:
+                    return indexed.decode(smaller), indexed.decode(config)
+    return None

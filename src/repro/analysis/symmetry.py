@@ -1,0 +1,98 @@
+"""Protocol isomorphism: canonical forms and symmetry detection.
+
+Two protocols differing only in state names compute the same
+predicates with the same dynamics; treating them as distinct wastes
+effort everywhere a space of protocols is explored (the busy-beaver
+enumeration of :mod:`repro.bounds.enumeration` being the prime
+consumer: at ``n = 2`` already ~40% of the raw enumeration is
+redundant).
+
+* :func:`are_isomorphic` — is there a state bijection carrying one
+  protocol onto the other (respecting transitions, leaders, inputs and
+  outputs)?
+* :func:`canonical_key` — a hashable value equal for exactly the
+  isomorphic protocols (brute force over output-respecting state
+  permutations; intended for small ``n``);
+* :func:`automorphisms` — the protocol's own symmetries, as state
+  permutations.
+
+Symmetries also matter semantically: an automorphism maps fair
+executions to fair executions, so symmetric states are behaviourally
+interchangeable — a cheap precursor to the verification-backed merging
+of :mod:`repro.analysis.minimisation`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Hashable, Iterator, List, Optional, Tuple
+
+from ..core.protocol import PopulationProtocol, Transition
+
+__all__ = ["are_isomorphic", "canonical_key", "automorphisms"]
+
+State = Hashable
+
+
+def _signature(protocol: PopulationProtocol, order: Tuple[State, ...]):
+    """The protocol's full structure relative to a state ordering."""
+    index = {state: i for i, state in enumerate(order)}
+    transitions = frozenset(
+        (
+            tuple(sorted((index[t.p], index[t.q]))),
+            tuple(sorted((index[t.p2], index[t.q2]))),
+        )
+        for t in protocol.transitions
+    )
+    outputs = tuple(protocol.output[state] for state in order)
+    leaders = tuple(protocol.leaders[state] for state in order)
+    inputs = tuple(sorted((str(v), index[s]) for v, s in protocol.input_mapping.items()))
+    return (outputs, leaders, inputs, transitions)
+
+
+def _candidate_orders(protocol: PopulationProtocol) -> Iterator[Tuple[State, ...]]:
+    """All state orderings (brute force; guard the state count)."""
+    if protocol.num_states > 8:
+        raise ValueError(
+            f"canonicalisation is brute-force over permutations; "
+            f"{protocol.num_states} states is too many (max 8)"
+        )
+    yield from itertools.permutations(protocol.states)
+
+
+def canonical_key(protocol: PopulationProtocol):
+    """A hashable canonical form: equal iff protocols are isomorphic.
+
+    The minimum of the structural signature over all state orderings.
+    Input variable *names* are part of the structure (two protocols
+    over different variables are not identified).
+    """
+    return min(_signature(protocol, order) for order in _candidate_orders(protocol))
+
+
+def are_isomorphic(left: PopulationProtocol, right: PopulationProtocol) -> bool:
+    """Is there a state bijection carrying ``left`` onto ``right``?"""
+    if left.num_states != right.num_states:
+        return False
+    if left.num_transitions != right.num_transitions:
+        return False
+    if sorted(left.output.values()) != sorted(right.output.values()):
+        return False
+    return canonical_key(left) == canonical_key(right)
+
+
+def automorphisms(protocol: PopulationProtocol) -> List[Dict[State, State]]:
+    """All state permutations mapping the protocol onto itself.
+
+    The identity is always included; a non-trivial automorphism
+    certifies behaviourally interchangeable states.
+    """
+    base = _signature(protocol, protocol.states)
+    result = []
+    for order in _candidate_orders(protocol):
+        # order describes the permutation sending protocol.states[i] -> order[i]?
+        # We test: relabelling by mapping order -> positions reproduces base.
+        if _signature(protocol, order) == base:
+            mapping = {original: renamed for original, renamed in zip(order, protocol.states)}
+            result.append(mapping)
+    return result

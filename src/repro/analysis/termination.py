@@ -1,0 +1,117 @@
+"""Termination shapes: silent protocols, livelocks, convergence classes.
+
+Population protocols stabilise in qualitatively different ways, and
+the distinction matters for both theory and simulation:
+
+* **silent** runs end in a configuration enabling no effective
+  transition (all our threshold constructions); silence is detectable
+  locally and makes simulation stopping rules exact;
+* **live consensus**: the verdict stabilises but agents keep moving
+  inside a bottom SCC (the 4-state majority's follower tug-of-war on
+  some inputs);
+* **livelock / no consensus**: a bottom SCC without uniform output —
+  the protocol computes nothing on that input.
+
+:func:`classify_input` decides which case holds for one input,
+exactly; :func:`is_silent_protocol` sweeps inputs.  The classification
+refines what :func:`repro.analysis.verification.verify_input` reports
+(correct/incorrect) with *how* the protocol converges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from ..core.protocol import PopulationProtocol
+from ..reachability.graph import ReachabilityGraph
+
+__all__ = ["ConvergenceClass", "InputClassification", "classify_input", "is_silent_protocol"]
+
+
+class ConvergenceClass(Enum):
+    """How fair executions from one input settle."""
+
+    SILENT = "silent"                  # all bottom SCCs are terminal singletons
+    LIVE_CONSENSUS = "live-consensus"  # bottom SCCs are consensus but keep moving
+    NO_CONSENSUS = "no-consensus"      # some bottom SCC has mixed outputs
+
+
+@dataclass(frozen=True)
+class InputClassification:
+    """Exact convergence classification of one input."""
+
+    convergence: ConvergenceClass
+    verdicts: Tuple[int, ...]
+    bottom_scc_count: int
+    largest_bottom_scc: int
+
+    @property
+    def verdict(self) -> Optional[int]:
+        """The common verdict, or ``None`` if bottom SCCs disagree."""
+        unique = set(self.verdicts)
+        if len(unique) == 1:
+            return next(iter(unique))
+        return None
+
+
+def classify_input(
+    protocol: PopulationProtocol,
+    inputs,
+    node_budget: int = 2_000_000,
+) -> InputClassification:
+    """Classify how the protocol converges on one input, exactly."""
+    indexed = protocol.indexed()
+    root = indexed.encode(protocol.initial_configuration(inputs))
+    graph = ReachabilityGraph.from_roots(protocol, [root], node_budget=node_budget)
+    bottoms = graph.bottom_sccs()
+
+    verdicts: List[int] = []
+    all_silent = True
+    mixed = False
+    largest = 0
+    for component in bottoms:
+        largest = max(largest, len(component))
+        if len(component) > 1 or graph.successors_of(component[0]):
+            all_silent = False
+        outputs = {indexed.output_of(config) for config in component}
+        if None in outputs or len(outputs) > 1:
+            mixed = True
+        else:
+            verdicts.append(next(iter(outputs)))
+
+    if mixed:
+        convergence = ConvergenceClass.NO_CONSENSUS
+    elif all_silent:
+        convergence = ConvergenceClass.SILENT
+    else:
+        convergence = ConvergenceClass.LIVE_CONSENSUS
+    return InputClassification(
+        convergence=convergence,
+        verdicts=tuple(verdicts),
+        bottom_scc_count=len(bottoms),
+        largest_bottom_scc=largest,
+    )
+
+
+def is_silent_protocol(
+    protocol: PopulationProtocol,
+    max_input_size: int,
+    min_input_size: int = 2,
+    node_budget: int = 2_000_000,
+) -> bool:
+    """Does every checked input converge silently?
+
+    Silent protocols admit exact local stopping rules in simulation
+    (what :class:`repro.simulation.scheduler.CountScheduler` uses) —
+    a ``False`` here warns that silent-consensus detection may not
+    terminate even though the protocol stabilises.
+    """
+    from .verification import all_inputs
+
+    for inputs in all_inputs(protocol.variables, max_input_size, min_input_size):
+        result = classify_input(protocol, inputs, node_budget=node_budget)
+        if result.convergence is not ConvergenceClass.SILENT:
+            return False
+    return True

@@ -1,0 +1,70 @@
+"""Bounds: the paper's constants, certificates, and end-to-end pipelines."""
+
+from .busy_beaver import BusyBeaverRow, best_leaderless_witness, best_witness_eta, gap_table
+from .certificates import CertificateReport, PumpingCertificate, SaturationCertificate
+from .constants import (
+    DEFAULT_BIT_LIMIT,
+    beta,
+    log2_beta,
+    log2_rackoff,
+    log2_theorem_5_9_final,
+    log2_vartheta,
+    theorem_5_9_bound,
+    vartheta,
+    xi,
+    xi_deterministic,
+)
+from .cutoff import all_one_profile, can_reach_all_one, minimal_all_one_input
+from .enumeration import (
+    BusyBeaverSearchResult,
+    all_deterministic_protocols,
+    busy_beaver_search,
+    threshold_behaviour,
+)
+from .pipeline import (
+    StableSequence,
+    build_stable_sequence,
+    section4_certificate,
+    section5_certificate,
+)
+from .report import full_report
+from .rendezvous import (
+    minimal_synchronisation_input,
+    synchronisation_possible,
+    synchronisation_profile,
+)
+
+__all__ = [
+    "log2_rackoff",
+    "log2_beta",
+    "beta",
+    "log2_vartheta",
+    "vartheta",
+    "xi",
+    "xi_deterministic",
+    "theorem_5_9_bound",
+    "log2_theorem_5_9_final",
+    "DEFAULT_BIT_LIMIT",
+    "PumpingCertificate",
+    "SaturationCertificate",
+    "CertificateReport",
+    "StableSequence",
+    "build_stable_sequence",
+    "section4_certificate",
+    "section5_certificate",
+    "BusyBeaverRow",
+    "best_leaderless_witness",
+    "best_witness_eta",
+    "gap_table",
+    "all_deterministic_protocols",
+    "threshold_behaviour",
+    "busy_beaver_search",
+    "BusyBeaverSearchResult",
+    "can_reach_all_one",
+    "minimal_all_one_input",
+    "all_one_profile",
+    "synchronisation_possible",
+    "minimal_synchronisation_input",
+    "synchronisation_profile",
+    "full_report",
+]

@@ -1,0 +1,108 @@
+"""The busy beaver ledger: lower-bound witnesses vs upper bounds.
+
+``BB(n)`` is the largest ``eta`` such that some leaderless protocol
+with at most ``n`` states computes ``x >= eta`` (Definition 1);
+``BB_L(n)`` allows leaders.  The paper's results frame it as:
+
+* ``BB(n) in Omega(2^n)``           (Theorem 2.2, from [12]) —
+  witnessed here by the verified family ``P'_k`` of Example 2.1:
+  ``n = k + 2`` states compute ``x >= 2^k``, so ``BB(n) >= 2^(n-2)``;
+* ``BB(n) <= 2^((2n+2)!)``          (Theorem 5.9) — the paper's
+  headline upper bound, i.e. ``STATE(eta) = Omega(log log eta)``;
+* ``BB_L(n) in Omega(2^(2^n))``     (Theorem 2.2) and
+  ``BB_L(n) < F_(l,theta)(n)`` at level ``F_omega`` (Theorem 4.5).
+
+This module builds the witnesses, reports the gap table of experiment
+E8, and provides the tiny-``n`` exact computations that are feasible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core.protocol import PopulationProtocol
+from ..protocols.threshold_binary import binary_state_count, binary_threshold
+from ..protocols.threshold_flat import flat_threshold
+from .constants import log2_theorem_5_9_final, log2_vartheta
+
+__all__ = [
+    "BusyBeaverRow",
+    "best_leaderless_witness",
+    "best_witness_eta",
+    "gap_table",
+]
+
+
+@dataclass(frozen=True)
+class BusyBeaverRow:
+    """One row of the busy-beaver gap table.
+
+    ``lower_eta`` is witnessed by a concrete verified protocol with at
+    most ``n`` states; ``log2_upper`` is the exponent of the Theorem
+    5.9 bound ``2^((2n+2)!)``.  The gap between ``log2(lower_eta)`` (a
+    linear function of ``n``) and ``log2_upper`` (a factorial) is the
+    open problem stated in the paper's conclusion.
+    """
+
+    n: int
+    lower_eta: int
+    witness: str
+    log2_upper: int
+
+
+def best_witness_eta(n: int) -> int:
+    """The largest threshold our verified constructions reach with ``n`` states.
+
+    The binary family achieves ``eta = 2^(n-2)`` using ``n`` states
+    (the doubling chain ``P'_(n-2)``); intermediate thresholds with
+    extra set bits cost one collector state per bit and never beat the
+    pure power of two.  For ``n <= 2`` only trivial thresholds fit.
+    """
+    if n < 1:
+        raise ValueError(f"state budget must be >= 1, got {n}")
+    if n == 1:
+        return 1  # binary_threshold(1) has a single state
+    if n == 2:
+        return 1  # flat_threshold(1) = {0, 1}
+    return 2 ** (n - 2)
+
+
+def best_leaderless_witness(n: int) -> Tuple[PopulationProtocol, int]:
+    """A verified protocol with at most ``n`` states and its threshold.
+
+    Returns ``(protocol, eta)`` maximising ``eta`` over this package's
+    constructions — the constructive content of Theorem 2.2's
+    leaderless half.
+    """
+    eta = best_witness_eta(n)
+    protocol = binary_threshold(eta)
+    if protocol.num_states > n:
+        protocol = flat_threshold(eta)
+    if protocol.num_states > n:
+        raise AssertionError(
+            f"witness construction used {protocol.num_states} states for budget {n}"
+        )
+    return protocol, eta
+
+
+def gap_table(n_values) -> List[BusyBeaverRow]:
+    """The experiment E8 table: verified lower bound vs Theorem 5.9 upper.
+
+    ``log2_upper = (2n+2)!`` grows factorially while the witnessed
+    ``log2(lower_eta) = n - 2`` is linear; the table makes the
+    double-exponential-vs-doubly-exponential gap (``2^n`` vs
+    ``2^((2n+2)!)``) concrete.
+    """
+    rows = []
+    for n in n_values:
+        protocol, eta = best_leaderless_witness(n)
+        rows.append(
+            BusyBeaverRow(
+                n=n,
+                lower_eta=eta,
+                witness=protocol.name,
+                log2_upper=log2_theorem_5_9_final(n),
+            )
+        )
+    return rows

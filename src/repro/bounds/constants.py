@@ -1,0 +1,133 @@
+"""The paper's constants: ``beta``, ``vartheta``, ``xi`` and bound chains.
+
+Definitions from the paper:
+
+* **small basis constant** (Definition 3):
+  ``beta(n) = 2^(2(2n+1)! + 1)`` — every ``SC_b`` has a basis of norm
+  at most ``beta`` (Lemma 3.2 actually bounds the norm by
+  ``2^(2(2n+1)!+1)`` and the underlying Rackoff sequence-length bound
+  is ``2^(2(2n+1)!)``);
+* **basis cardinality** (Lemma 3.2): ``vartheta(n) = 2^((2n+2)!)``;
+* **Pottier constant** (Definition 6): ``xi = 2(2|T| + 1)^|Q|``, with
+  the deterministic refinement ``2(|Q| + 2)^|Q|`` (Remark 1);
+* **Theorem 5.9**: leaderless ``eta <= xi * n * beta * 3^n <= 2^((2n+2)!)``.
+
+These numbers are astronomically large: already ``beta(4)`` has about
+2^19 bits and ``beta(10)`` has more bits than atoms in the universe.
+Every function therefore exists in two forms: ``log2_*`` (always an
+exact integer, cheap) and the exact value, which raises
+:class:`UnrepresentableNumber` beyond a configurable bit limit instead
+of attempting the allocation.
+"""
+
+from __future__ import annotations
+
+from math import factorial
+from typing import Union
+
+from ..core.errors import UnrepresentableNumber
+from ..core.protocol import PopulationProtocol
+
+__all__ = [
+    "log2_rackoff",
+    "log2_beta",
+    "beta",
+    "log2_vartheta",
+    "vartheta",
+    "xi",
+    "xi_deterministic",
+    "theorem_5_9_bound",
+    "log2_theorem_5_9_final",
+    "DEFAULT_BIT_LIMIT",
+]
+
+DEFAULT_BIT_LIMIT = 2_000_000
+
+
+def _pow2(log2_value: int, bit_limit: int, name: str) -> int:
+    if log2_value > bit_limit:
+        raise UnrepresentableNumber(
+            f"{name} = 2^{log2_value} needs {log2_value} bits (limit {bit_limit}); "
+            f"use the log2_* variant instead"
+        )
+    return 1 << log2_value
+
+
+def log2_rackoff(n: int) -> int:
+    """``log2`` of the Rackoff covering-sequence bound ``2^(2(2n+1)!)``.
+
+    Used in the proof of Lemma 3.2: a covering configuration, if
+    reachable at all, is reachable by a sequence of at most this
+    length.
+    """
+    if n < 1:
+        raise ValueError(f"number of states must be >= 1, got {n}")
+    return 2 * factorial(2 * n + 1)
+
+
+def log2_beta(n: int) -> int:
+    """``log2 beta(n) = 2(2n+1)! + 1`` — the small basis constant's exponent."""
+    return log2_rackoff(n) + 1
+
+
+def beta(n: int, bit_limit: int = DEFAULT_BIT_LIMIT) -> int:
+    """The small basis constant ``beta(n) = 2^(2(2n+1)!+1)`` (Definition 3)."""
+    return _pow2(log2_beta(n), bit_limit, f"beta({n})")
+
+
+def log2_vartheta(n: int) -> int:
+    """``log2 vartheta(n) = (2n+2)!`` — exponent of the basis-size bound."""
+    if n < 1:
+        raise ValueError(f"number of states must be >= 1, got {n}")
+    return factorial(2 * n + 2)
+
+
+def vartheta(n: int, bit_limit: int = DEFAULT_BIT_LIMIT) -> int:
+    """``vartheta(n) = 2^((2n+2)!)``: Lemma 3.2's bound on basis cardinality."""
+    return _pow2(log2_vartheta(n), bit_limit, f"vartheta({n})")
+
+
+def xi(protocol_or_counts: Union[PopulationProtocol, tuple]) -> int:
+    """The Pottier constant ``xi = 2(2|T| + 1)^|Q|`` (Definition 6).
+
+    Accepts a protocol or a ``(num_states, num_transitions)`` pair.
+    Always exact: for realistic protocols this fits in a few thousand
+    bits.
+    """
+    if isinstance(protocol_or_counts, PopulationProtocol):
+        q, t = protocol_or_counts.num_states, protocol_or_counts.num_transitions
+    else:
+        q, t = protocol_or_counts
+    if q < 1 or t < 0:
+        raise ValueError(f"invalid counts (|Q|={q}, |T|={t})")
+    return 2 * (2 * t + 1) ** q
+
+
+def xi_deterministic(num_states: int) -> int:
+    """Remark 1: ``xi = 2(|Q| + 2)^|Q|`` suffices for deterministic protocols."""
+    if num_states < 1:
+        raise ValueError(f"number of states must be >= 1, got {num_states}")
+    return 2 * (num_states + 2) ** num_states
+
+
+def theorem_5_9_bound(
+    protocol: PopulationProtocol,
+    bit_limit: int = DEFAULT_BIT_LIMIT,
+) -> int:
+    """The explicit Theorem 5.9 bound ``xi * n * beta * 3^n`` for a protocol.
+
+    Any leaderless protocol with this shape computing ``x >= eta``
+    satisfies ``eta <=`` this value.  Raises
+    :class:`UnrepresentableNumber` when it does not fit in
+    ``bit_limit`` bits.
+    """
+    n = protocol.num_states
+    return xi(protocol) * n * beta(n, bit_limit=bit_limit) * 3**n
+
+
+def log2_theorem_5_9_final(n: int) -> int:
+    """``log2`` of the closed-form Theorem 5.9 bound: ``(2n+2)!``.
+
+    The theorem's final simplification: ``eta <= 2^((2n+2)!)``.
+    """
+    return log2_vartheta(n)

@@ -1,0 +1,83 @@
+"""The §4.1 cut-off functions: how soon can *all* agents say yes?
+
+Section 4.1 contrasts the busy beaver function with a deceptively
+similar quantity: for a protocol ``P`` (not necessarily computing
+anything), the least input ``i`` such that ``IC(i)`` can reach a
+configuration in ``All_1`` — every agent in an output-1 state.  The
+maximum of that quantity over ``n``-state protocols, ``f(n)``, grows
+faster than any primitive recursive function for protocols with
+leaders [15, 16, 22, 23], yet is only ``2^O(n)`` for leaderless
+protocols (Balasubramanian, Esparza, Raskin [10]) — the paper's
+evidence that the leader/leaderless split in its own results is real.
+
+This module computes the quantity exactly for concrete protocols:
+
+* :func:`minimal_all_one_input` — the least ``i <= max_input`` with
+  ``IC(i) ->* All_1`` (None if there is none within the bound);
+* :func:`all_one_profile` — the full reachability profile
+  ``i -> can reach All_1?`` over an input range.
+
+For our threshold protocols the cut-off coincides with the threshold
+``eta`` itself, which experiment E8's leader table reports next to the
+theoretical growth rates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.errors import ConfigurationError
+from ..core.protocol import PopulationProtocol
+from ..reachability.graph import ReachabilityGraph
+
+__all__ = ["can_reach_all_one", "minimal_all_one_input", "all_one_profile"]
+
+
+def can_reach_all_one(
+    protocol: PopulationProtocol,
+    inputs,
+    node_budget: int = 500_000,
+) -> bool:
+    """Can ``IC(inputs)`` reach a configuration with all agents output-1?"""
+    indexed = protocol.indexed()
+    root = indexed.encode(protocol.initial_configuration(inputs))
+    graph = ReachabilityGraph.from_roots(protocol, [root], node_budget=node_budget)
+    found = graph.can_reach(root, lambda c: indexed.output_of(c) == 1)
+    return found is not None
+
+
+def minimal_all_one_input(
+    protocol: PopulationProtocol,
+    max_input: int,
+    min_input: int = 1,
+    node_budget: int = 500_000,
+) -> Optional[int]:
+    """The least input ``i`` whose initial configuration can reach ``All_1``.
+
+    This is the inner ``min`` of the paper's ``f(n)`` definition,
+    evaluated on one concrete protocol.  Inputs below the two-agent
+    minimum (after adding leaders) are skipped.
+    """
+    for i in range(min_input, max_input + 1):
+        try:
+            if can_reach_all_one(protocol, i, node_budget=node_budget):
+                return i
+        except ConfigurationError:
+            continue  # population below two agents
+    return None
+
+
+def all_one_profile(
+    protocol: PopulationProtocol,
+    max_input: int,
+    min_input: int = 1,
+    node_budget: int = 500_000,
+) -> Dict[int, bool]:
+    """``i -> [IC(i) can reach All_1]`` for the given input range."""
+    profile: Dict[int, bool] = {}
+    for i in range(min_input, max_input + 1):
+        try:
+            profile[i] = can_reach_all_one(protocol, i, node_budget=node_budget)
+        except ConfigurationError:
+            continue  # population below two agents
+    return profile

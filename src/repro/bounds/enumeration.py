@@ -1,0 +1,178 @@
+"""Exhaustive protocol enumeration: tiny-``n`` busy beaver experiments.
+
+``BB(n)`` quantifies over *all* protocols with ``n`` states — a
+doubly-exponential space (already ~10^6 deterministic protocols at
+``n = 3``), which is why the paper attacks it with structural bounds
+rather than search.  For ``n <= 2``, though, the space is enumerable,
+and this module does so:
+
+* :func:`all_deterministic_protocols` — every complete deterministic
+  single-input protocol over ``n`` states (up to the choice of input
+  state and output assignment);
+* :func:`threshold_behaviour` — the verdict pattern of a protocol over
+  inputs ``2 .. max_input``; returns the threshold it *appears* to
+  compute, or ``None`` for non-threshold behaviour (no consensus, or a
+  non-monotone verdict pattern);
+* :func:`busy_beaver_search` — the largest apparent threshold over the
+  enumeration, with every winner cross-examined by a Section 4
+  pumping certificate.
+
+Semantics note: a population has at least two agents, so the
+predicates ``x >= 1`` and ``x >= 2`` are indistinguishable from the
+always-true predicate on valid inputs; the trivial always-accepting
+protocol therefore already witnesses ``BB(n) >= 2`` for every ``n``.
+The interesting question starts at ``eta = 3`` — and the ``n = 2``
+search answers it exhaustively (within the stated input bound; a full
+unbounded-correctness proof would need parameterised verification,
+which is beyond this module's scope and flagged in the result).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from ..core.multiset import Multiset
+from ..core.protocol import PopulationProtocol, Transition
+from ..analysis.verification import verify_input
+from .pipeline import section4_certificate
+
+__all__ = [
+    "all_deterministic_protocols",
+    "threshold_behaviour",
+    "busy_beaver_search",
+    "BusyBeaverSearchResult",
+]
+
+
+def all_deterministic_protocols(n: int) -> Iterator[PopulationProtocol]:
+    """Yield every complete deterministic protocol with ``n`` states.
+
+    States are ``0 .. n-1``; all choices of input state, output
+    assignment, and one post-pair per unordered pre-pair are generated.
+    The count is ``n * 2^n * (n(n+1)/2)^(n(n+1)/2)`` — use only for
+    tiny ``n``.
+    """
+    if n < 1:
+        raise ValueError(f"need n >= 1, got {n}")
+    states = tuple(range(n))
+    pairs = list(itertools.combinations_with_replacement(states, 2))
+    post_choices = pairs  # unordered post pairs
+    counter = 0
+    for input_state in states:
+        for outputs in itertools.product((0, 1), repeat=n):
+            for posts in itertools.product(post_choices, repeat=len(pairs)):
+                transitions = tuple(
+                    Transition(p, q, p2, q2)
+                    for (p, q), (p2, q2) in zip(pairs, posts)
+                )
+                counter += 1
+                yield PopulationProtocol(
+                    states=states,
+                    transitions=transitions,
+                    leaders=Multiset(),
+                    input_mapping={"x": input_state},
+                    output={s: b for s, b in zip(states, outputs)},
+                    name=f"enum[{n}]#{counter}",
+                )
+
+
+def threshold_behaviour(
+    protocol: PopulationProtocol,
+    max_input: int,
+    node_budget: int = 100_000,
+) -> Optional[int]:
+    """The threshold the protocol's verdicts trace out, if any.
+
+    Computes the exact fairness verdict for every input ``2 ..
+    max_input``.  The pattern must be ``0^j 1^k`` with ``k >= 1``
+    (rejecting a prefix, then accepting forever within the bound); the
+    returned value is the first accepted input.  ``None`` when some
+    input has no consensus, the pattern is non-monotone, or every input
+    is rejected (the threshold, if any, lies beyond the bound).
+    """
+    verdicts: List[int] = []
+    for i in range(2, max_input + 1):
+        # verdict = the consensus all bottom SCCs agree on, else None
+        if verify_input(protocol, i, expected=1, node_budget=node_budget) is None:
+            verdicts.append(1)
+        elif verify_input(protocol, i, expected=0, node_budget=node_budget) is None:
+            verdicts.append(0)
+        else:
+            return None
+    first_accept: Optional[int] = None
+    for i, verdict in zip(range(2, max_input + 1), verdicts):
+        if verdict == 1 and first_accept is None:
+            first_accept = i
+        if verdict == 0 and first_accept is not None:
+            return None  # flipped back: not a threshold
+    return first_accept
+
+
+@dataclass(frozen=True)
+class BusyBeaverSearchResult:
+    """Outcome of :func:`busy_beaver_search`.
+
+    ``eta`` is the largest apparent threshold (``>= 2``; the trivial
+    always-true protocols witness 2); ``witnesses`` holds protocols
+    attaining it; ``certified`` tells whether a Section 4 certificate
+    bounding the winners' thresholds by some ``a <= checked_up_to``
+    was found (bounded evidence — see module docstring).
+    """
+
+    n: int
+    eta: int
+    witnesses: Tuple[PopulationProtocol, ...]
+    protocols_enumerated: int
+    threshold_protocols: int
+    checked_up_to: int
+    certified: bool
+
+
+def busy_beaver_search(
+    n: int,
+    max_input: int = 8,
+    max_witnesses: int = 3,
+    enumeration_budget: int = 1_000_000,
+) -> BusyBeaverSearchResult:
+    """Exhaustive bounded busy-beaver search over ``n``-state protocols.
+
+    Returns the largest threshold witnessed by any enumerated protocol
+    (verdicts exact per input up to ``max_input``).  Winners get a
+    Section 4 pumping certificate as corroboration that their true
+    threshold cannot exceed the observed one.
+    """
+    best_eta = 0
+    witnesses: List[PopulationProtocol] = []
+    enumerated = 0
+    threshold_count = 0
+    for protocol in all_deterministic_protocols(n):
+        enumerated += 1
+        if enumerated > enumeration_budget:
+            break
+        eta = threshold_behaviour(protocol, max_input)
+        if eta is None:
+            continue
+        threshold_count += 1
+        if eta > best_eta:
+            best_eta = eta
+            witnesses = [protocol]
+        elif eta == best_eta and len(witnesses) < max_witnesses:
+            witnesses.append(protocol)
+
+    certified = False
+    for witness in witnesses:
+        certificate = section4_certificate(witness, max_length=max_input + 4)
+        if certificate is not None and certificate.a <= max_input:
+            certified = True
+            break
+    return BusyBeaverSearchResult(
+        n=n,
+        eta=best_eta,
+        witnesses=tuple(witnesses),
+        protocols_enumerated=enumerated,
+        threshold_protocols=threshold_count,
+        checked_up_to=max_input,
+        certified=certified,
+    )

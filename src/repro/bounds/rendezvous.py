@@ -1,0 +1,117 @@
+"""Rendez-vous synchronisation: the cut-off question of §4.1, footnote 2.
+
+The paper's evidence that its Ackermannian leader bound may be tight
+cites Horn & Sangnier [22]: for protocols with one leader, moving from
+"leader in ``q_in``, ``n`` agents in ``r_in``" to "leader in ``q_f``,
+``n`` agents in ``r_f``" may first become possible only at
+non-primitive-recursive population sizes ``n`` (combining [15, 16,
+23]).
+
+This module makes the quantity concrete and computable for small
+instances:
+
+* :func:`synchronisation_possible` — can
+  ``(q_in, n * r_in) ->* (q_f, n * r_f)`` for a given ``n``?  Exact,
+  via the reachability graph;
+* :func:`minimal_synchronisation_input` — the least such ``n`` within
+  a search bound (the inner minimum of the hardness statement);
+* :func:`synchronisation_profile` — the full ``n -> possible?`` map
+  (whose eventual behaviour is the *cut-off* of [22]).
+
+For well-behaved protocols the profile flips at a small ``n`` and
+stays; the hardness results say adversarial protocols can push that
+flip beyond any elementary function of the state count.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional
+
+from ..core.errors import SearchBudgetExceeded
+from ..core.multiset import Multiset
+from ..core.protocol import PopulationProtocol
+from ..reachability.graph import ReachabilityGraph
+
+__all__ = [
+    "synchronisation_possible",
+    "minimal_synchronisation_input",
+    "synchronisation_profile",
+]
+
+State = Hashable
+
+
+def synchronisation_possible(
+    protocol: PopulationProtocol,
+    leader_in: State,
+    others_in: State,
+    leader_f: State,
+    others_f: State,
+    n: int,
+    node_budget: int = 500_000,
+) -> bool:
+    """Exactly decide ``(q_in, n * r_in) ->* (q_f, n * r_f)``.
+
+    The configurations are ``leader + n`` agents; both ends must be
+    legal configurations (``n >= 1``).
+    """
+    if n < 1:
+        raise ValueError(f"need n >= 1, got {n}")
+    indexed = protocol.indexed()
+    source = Multiset({leader_in: 1}) + Multiset.singleton(others_in, n)
+    target = Multiset({leader_f: 1}) + Multiset.singleton(others_f, n)
+    graph = ReachabilityGraph.from_roots(
+        protocol, [indexed.encode(source)], node_budget=node_budget
+    )
+    return indexed.encode(target) in graph.nodes
+
+
+def minimal_synchronisation_input(
+    protocol: PopulationProtocol,
+    leader_in: State,
+    others_in: State,
+    leader_f: State,
+    others_f: State,
+    max_n: int,
+    node_budget: int = 500_000,
+) -> Optional[int]:
+    """The least ``n <= max_n`` making the synchronisation possible.
+
+    This is the quantity whose worst-case growth over all protocols is
+    non-primitive-recursive [15, 16, 22, 23] — evaluated here exactly
+    on one concrete protocol.
+    """
+    for n in range(1, max_n + 1):
+        try:
+            if synchronisation_possible(
+                protocol, leader_in, others_in, leader_f, others_f, n, node_budget
+            ):
+                return n
+        except SearchBudgetExceeded:
+            break
+    return None
+
+
+def synchronisation_profile(
+    protocol: PopulationProtocol,
+    leader_in: State,
+    others_in: State,
+    leader_f: State,
+    others_f: State,
+    max_n: int,
+    node_budget: int = 500_000,
+) -> Dict[int, bool]:
+    """``n -> [synchronisation possible]`` for ``1 <= n <= max_n``.
+
+    [22] asks whether a *cut-off* exists: an ``N`` with constant answer
+    for all ``n >= N``.  The profile exhibits the empirical prefix.
+    """
+    profile: Dict[int, bool] = {}
+    for n in range(1, max_n + 1):
+        try:
+            profile[n] = synchronisation_possible(
+                protocol, leader_in, others_in, leader_f, others_f, n, node_budget
+            )
+        except SearchBudgetExceeded:
+            break
+    return profile

@@ -1,0 +1,146 @@
+"""One-call comprehensive analysis: everything this library knows.
+
+:func:`full_report` runs the whole toolbox against one protocol (and,
+optionally, the predicate it claims to compute) and renders a single
+text report:
+
+* structure: states, transitions, leaders, determinism, coverability;
+* exact verification against the predicate (when given);
+* convergence classification (silent / live / livelock) per input;
+* linear invariants (the conservation laws);
+* stable-set slices and the inferred basis;
+* both pumping certificates with their ``eta <= a`` conclusions;
+* exact expected convergence time for a sample input.
+
+This is the ``python -m repro analyze`` command and the "show me
+everything" entry point for interactive exploration.  Every section
+degrades gracefully (reports the reason) when a sub-analysis does not
+apply — e.g. Section 5 machinery on protocols with leaders.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..analysis.basis import infer_basis
+from ..analysis.expected_time import expected_convergence_time
+from ..analysis.invariants import invariant_basis
+from ..analysis.termination import classify_input
+from ..analysis.verification import verify_protocol
+from ..core.errors import ReproError
+from ..core.predicates import Predicate
+from ..core.protocol import PopulationProtocol
+from ..fmt import render_table, section
+from .pipeline import section4_certificate, section5_certificate
+
+__all__ = ["full_report"]
+
+
+def full_report(
+    protocol: PopulationProtocol,
+    predicate: Optional[Predicate] = None,
+    max_input: int = 8,
+    node_budget: int = 500_000,
+) -> str:
+    """Render the comprehensive analysis report (see module docstring)."""
+    lines: List[str] = []
+    out = lines.append
+
+    # ------------------------------------------------------------- structure
+    out(section(f"Structure — {protocol.name}"))
+    covered = protocol.coverable_states()
+    out(f"states: {protocol.num_states} ({len(covered)} coverable)")
+    out(f"transitions: {protocol.num_transitions} "
+        f"({'deterministic' if protocol.is_deterministic else 'nondeterministic'}, "
+        f"{'complete' if protocol.is_complete else 'incomplete — identities implicit'})")
+    out("leaders: " + (protocol.leaders.pretty() if not protocol.is_leaderless else "none (leaderless)"))
+    out("inputs: " + ", ".join(f"{v} -> {s}" for v, s in protocol.input_mapping.items()))
+
+    # ---------------------------------------------------------- verification
+    if predicate is not None:
+        out(section(f"Verification against: {predicate}"))
+        try:
+            report = verify_protocol(
+                protocol, predicate, max_input_size=max_input, node_budget=node_budget
+            )
+            if report.ok:
+                out(f"VERIFIED on all {report.inputs_checked} inputs up to size {max_input} "
+                    "(exact bottom-SCC analysis)")
+            else:
+                ce = report.counterexample
+                out(f"FAILS on {ce.inputs.pretty()}: {ce.reason}")
+        except ReproError as error:
+            out(f"verification not applicable: {error}")
+
+    # ----------------------------------------------------------- convergence
+    out(section("Convergence classification"))
+    rows = []
+    single_input = len(protocol.input_mapping) == 1
+    if single_input:
+        sample_inputs = list(range(2, min(max_input, 6) + 1))
+        for i in sample_inputs:
+            try:
+                result = classify_input(protocol, i, node_budget=node_budget)
+                rows.append([i, result.convergence.value, result.verdict,
+                             result.bottom_scc_count])
+            except ReproError as error:
+                rows.append([i, f"({error})", "-", "-"])
+        out(render_table(["input", "convergence", "verdict", "bottom SCCs"], rows))
+    else:
+        out("(multi-variable protocol: per-input classification via classify_input)")
+
+    # ------------------------------------------------------------ invariants
+    out(section("Linear invariants (conserved quantities)"))
+    for weights in invariant_basis(protocol):
+        shown = {str(q): str(w) for q, w in weights.items() if w != 0}
+        out(f"  {shown}")
+
+    # ---------------------------------------------------------- stable bases
+    if single_input:
+        out(section("Stable-set bases (inferred from slices 2..4, pump-checked)"))
+        for b in (0, 1):
+            try:
+                basis = infer_basis(protocol, b=b, slice_sizes=[2, 3, 4], node_budget=node_budget)
+                out(f"SC_{b}: {len(basis)} elements, max norm "
+                    f"{max((e.norm for e in basis), default=0)}")
+            except ReproError as error:
+                out(f"SC_{b}: not computed ({error})")
+
+    # ---------------------------------------------------------- certificates
+    if single_input:
+        out(section("Pumping certificates (eta <= a, machine-checked)"))
+        try:
+            cert4 = section4_certificate(protocol, max_length=max_input + 6, node_budget=node_budget)
+            if cert4 is not None:
+                cert4.check(node_budget=node_budget)
+                out(f"Section 4 route: eta <= {cert4.a} (pump b = {cert4.b})")
+            else:
+                out("Section 4 route: no certificate within the search horizon")
+        except ReproError as error:
+            out(f"Section 4 route: {error}")
+        if protocol.is_leaderless:
+            try:
+                cert5 = section5_certificate(protocol, max_input=max_input + 6, node_budget=node_budget)
+                if cert5 is not None:
+                    cert5.check(node_budget=node_budget)
+                    out(f"Section 5 route: eta <= {cert5.a} "
+                        f"(pump b = {cert5.b}, |pi| = {cert5.pi.size})")
+                else:
+                    out("Section 5 route: no certificate within the search horizon")
+            except ReproError as error:
+                out(f"Section 5 route: {error}")
+        else:
+            out("Section 5 route: not applicable (protocol has leaders)")
+
+    # --------------------------------------------------------- expected time
+    if single_input:
+        out(section("Expected convergence time (exact, Markov chain)"))
+        sample = min(max_input, 6)
+        try:
+            expectation = expected_convergence_time(protocol, sample, node_budget=20_000)
+            out(f"input {sample}: E[interactions] = {expectation.interactions:.2f} "
+                f"({expectation.parallel_time:.2f} parallel time)")
+        except ReproError as error:
+            out(f"not computable: {error}")
+
+    return "\n".join(lines)

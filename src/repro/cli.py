@@ -1,0 +1,238 @@
+"""Command-line interface: build, verify, simulate, certify protocols.
+
+Usage (``python -m repro <command> ...``)::
+
+    # compile a predicate into a protocol and store it
+    python -m repro compile "x >= 5 and x = 0 (mod 2)" -o alarm.json
+
+    # builtins work everywhere a protocol is expected
+    python -m repro describe binary:10
+    python -m repro verify binary:10 "x >= 10" --max-input 14
+    python -m repro simulate majority --input x=60,y=40 --seed 1
+    python -m repro certify binary:4 --section 4
+    python -m repro dot binary:8
+
+Protocol arguments are either a path to a JSON file produced by
+``compile``/:func:`repro.io.dumps`, or a builtin spec:
+
+    ``binary:ETA`` ``flat:ETA`` ``majority`` ``modulo:R:M``
+    ``leader-unary:ETA`` ``leader-binary:ETA`` ``election``
+    ``linear:PREDICATE`` (a single threshold atom)
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from .analysis.verification import verify_protocol
+from .bounds.pipeline import section4_certificate, section5_certificate
+from .core.errors import ReproError
+from .core.multiset import Multiset
+from .core.parser import parse_predicate
+from .core.protocol import PopulationProtocol
+from .io import dumps, loads, to_dot
+from .protocols import (
+    binary_threshold,
+    compile_predicate,
+    flat_threshold,
+    leader_binary_threshold,
+    leader_unary_threshold,
+    majority_protocol,
+    modulo_protocol,
+)
+from .protocols.leader_election import leader_election
+from .simulation import CountScheduler
+
+__all__ = ["main", "resolve_protocol"]
+
+
+def resolve_protocol(spec: str) -> PopulationProtocol:
+    """Resolve a CLI protocol argument: JSON path or builtin spec."""
+    if os.path.exists(spec):
+        with open(spec) as handle:
+            return loads(handle.read())
+    name, _, argument = spec.partition(":")
+    try:
+        if name == "binary":
+            return binary_threshold(int(argument))
+        if name == "flat":
+            return flat_threshold(int(argument))
+        if name == "majority":
+            return majority_protocol()
+        if name == "modulo":
+            remainder, _, modulus = argument.partition(":")
+            return modulo_protocol({"x": 1}, int(remainder), int(modulus))
+        if name == "leader-unary":
+            return leader_unary_threshold(int(argument))
+        if name == "leader-binary":
+            return leader_binary_threshold(int(argument))
+        if name == "election":
+            return leader_election()
+        if name == "linear":
+            return compile_predicate(parse_predicate(argument))
+    except (ValueError, ReproError) as error:
+        raise SystemExit(f"error: cannot build {spec!r}: {error}")
+    raise SystemExit(
+        f"error: {spec!r} is neither a file nor a builtin "
+        "(binary:N flat:N majority modulo:R:M leader-unary:N leader-binary:N election linear:PRED)"
+    )
+
+
+def _parse_input(text: str) -> Multiset:
+    """Parse ``x=60,y=40`` (or a bare integer) into an input multiset."""
+    text = text.strip()
+    if text.isdigit():
+        return Multiset({"x": int(text)})
+    counts = {}
+    for part in text.split(","):
+        variable, _, count = part.partition("=")
+        if not count.strip().isdigit():
+            raise SystemExit(f"error: malformed input assignment {part!r} (want var=count)")
+        counts[variable.strip()] = int(count)
+    return Multiset(counts)
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+
+
+def _cmd_compile(args) -> int:
+    predicate = parse_predicate(args.predicate)
+    protocol = compile_predicate(predicate)
+    if args.trim:
+        protocol = protocol.restricted_to_coverable()
+    payload = dumps(protocol)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(payload + "\n")
+        print(f"wrote {protocol.num_states}-state protocol for {predicate} to {args.output}")
+    else:
+        print(payload)
+    return 0
+
+
+def _cmd_describe(args) -> int:
+    protocol = resolve_protocol(args.protocol)
+    print(protocol.describe())
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    protocol = resolve_protocol(args.protocol)
+    predicate = parse_predicate(args.predicate)
+    report = verify_protocol(protocol, predicate, max_input_size=args.max_input)
+    if report.ok:
+        print(f"OK: {protocol.name} computes {predicate} (all {report.inputs_checked} inputs "
+              f"up to size {args.max_input})")
+        return 0
+    ce = report.counterexample
+    print(f"FAIL on input {ce.inputs.pretty()}: {ce.reason}")
+    return 1
+
+
+def _cmd_simulate(args) -> int:
+    protocol = resolve_protocol(args.protocol)
+    inputs = _parse_input(args.input)
+    scheduler = CountScheduler(protocol, seed=args.seed)
+    result = scheduler.run(inputs, max_steps=args.max_steps)
+    verdict = protocol.output_of(result.configuration)
+    print(f"population: {result.population}")
+    print(f"interactions: {result.interactions} (parallel time {result.parallel_time:.1f})")
+    print(f"converged: {result.converged}")
+    print(f"final configuration: {result.configuration.pretty()}")
+    print(f"consensus output: {verdict}")
+    return 0 if result.converged else 2
+
+
+def _cmd_certify(args) -> int:
+    protocol = resolve_protocol(args.protocol)
+    if args.section == 5:
+        certificate = section5_certificate(protocol, max_input=args.max_input)
+    else:
+        certificate = section4_certificate(protocol, max_length=args.max_input)
+    if certificate is None:
+        print("no certificate found within the search bounds")
+        return 1
+    report = certificate.check()
+    print(report.conclusion)
+    print(f"  a = {report.a}, pump b = {report.b}")
+    print(f"  basis element proof: {report.basis_proof}")
+    for note in report.notes:
+        print(f"  {note}")
+    return 0
+
+
+def _cmd_dot(args) -> int:
+    protocol = resolve_protocol(args.protocol)
+    print(to_dot(protocol))
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from .bounds.report import full_report
+
+    protocol = resolve_protocol(args.protocol)
+    predicate = parse_predicate(args.predicate) if args.predicate else None
+    print(full_report(protocol, predicate, max_input=args.max_input))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree (exposed for documentation tooling)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Population protocols: build, verify, simulate, certify.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile a predicate into a protocol (JSON)")
+    p.add_argument("predicate", help='e.g. "x >= 5 and x = 0 (mod 2)"')
+    p.add_argument("-o", "--output", help="write JSON here instead of stdout")
+    p.add_argument("--trim", action="store_true", help="drop uncoverable states")
+    p.set_defaults(handler=_cmd_compile)
+
+    p = sub.add_parser("describe", help="print a protocol's definition")
+    p.add_argument("protocol", help="JSON file or builtin spec (binary:10, majority, ...)")
+    p.set_defaults(handler=_cmd_describe)
+
+    p = sub.add_parser("verify", help="exactly verify a protocol against a predicate")
+    p.add_argument("protocol")
+    p.add_argument("predicate")
+    p.add_argument("--max-input", type=int, default=10)
+    p.set_defaults(handler=_cmd_verify)
+
+    p = sub.add_parser("simulate", help="run the uniform random scheduler")
+    p.add_argument("protocol")
+    p.add_argument("--input", required=True, help='"x=60,y=40" or a bare count')
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--max-steps", type=int, default=1_000_000)
+    p.set_defaults(handler=_cmd_simulate)
+
+    p = sub.add_parser("certify", help="produce a checked eta <= a pumping certificate")
+    p.add_argument("protocol")
+    p.add_argument("--section", type=int, choices=(4, 5), default=4)
+    p.add_argument("--max-input", type=int, default=16)
+    p.set_defaults(handler=_cmd_certify)
+
+    p = sub.add_parser("dot", help="emit a Graphviz digraph of the protocol")
+    p.add_argument("protocol")
+    p.set_defaults(handler=_cmd_dot)
+
+    p = sub.add_parser("analyze", help="run every analysis and print the full report")
+    p.add_argument("protocol")
+    p.add_argument("predicate", nargs="?", default=None, help="optional predicate to verify against")
+    p.add_argument("--max-input", type=int, default=8)
+    p.set_defaults(handler=_cmd_analyze)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)

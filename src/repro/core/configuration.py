@@ -1,0 +1,114 @@
+"""Configuration-level notions: saturation, concentration, consensus.
+
+Configurations are plain :class:`~repro.core.multiset.Multiset` values
+over the protocol's states; this module collects the predicates on
+configurations that the paper's proofs use:
+
+* ``j``-saturation (Section 5.1): every state holds at least ``j``
+  agents — the precondition that lets pseudo-firings be realised as
+  genuine executions (Lemma 5.1(ii));
+* ``epsilon``-concentration in a set ``S`` (Definition 5): at most an
+  ``epsilon`` fraction of the agents lie outside ``S``;
+* consensus and stability-related helpers.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Hashable, Iterable, Union
+
+from .errors import ConfigurationError
+from .multiset import Multiset
+from .protocol import PopulationProtocol
+
+__all__ = [
+    "is_configuration",
+    "require_configuration",
+    "is_saturated",
+    "saturation_level",
+    "is_concentrated",
+    "concentration",
+    "is_consensus",
+    "is_silent",
+]
+
+State = Hashable
+
+
+def is_configuration(candidate: Multiset) -> bool:
+    """True iff ``candidate`` is a configuration: natural with size >= 2."""
+    return candidate.is_natural and candidate.size >= 2
+
+
+def require_configuration(candidate: Multiset) -> Multiset:
+    """Return ``candidate`` if it is a configuration, else raise."""
+    if not is_configuration(candidate):
+        raise ConfigurationError(f"not a configuration (natural, size >= 2): {candidate!r}")
+    return candidate
+
+
+def is_saturated(configuration: Multiset, states: Iterable[State], level: int = 1) -> bool:
+    """Is the configuration ``level``-saturated over ``states``?
+
+    A configuration ``C`` is ``j``-saturated if ``C(q) >= j`` for every
+    state ``q`` (Section 5.1).  ``states`` must be the protocol's full
+    state set ``Q`` for the paper's notion.
+    """
+    return all(configuration[q] >= level for q in states)
+
+
+def saturation_level(configuration: Multiset, states: Iterable[State]) -> int:
+    """The largest ``j`` such that the configuration is ``j``-saturated.
+
+    Zero when some state is unpopulated.
+    """
+    return min((configuration[q] for q in states), default=0)
+
+
+def concentration(configuration: Multiset, inside: Iterable[State]) -> Fraction:
+    """The fraction of agents *outside* ``inside``.
+
+    ``C`` is ``epsilon``-concentrated in ``S`` iff this value is at most
+    ``epsilon`` (Definition 5).  Exact rational arithmetic is used so
+    that threshold comparisons in the proofs are never subject to
+    floating-point error.
+    """
+    total = configuration.size
+    if total <= 0:
+        raise ConfigurationError("concentration of an empty configuration is undefined")
+    outside = total - configuration.count(inside)
+    return Fraction(outside, total)
+
+
+def is_concentrated(
+    configuration: Multiset,
+    inside: Iterable[State],
+    epsilon: Union[Fraction, int, float, str],
+) -> bool:
+    """Is the configuration ``epsilon``-concentrated in ``inside``?
+
+    Accepts ``epsilon`` as a :class:`fractions.Fraction` (preferred),
+    an ``int``, a string like ``"1/7"``, or a float.
+    """
+    eps = Fraction(epsilon) if not isinstance(epsilon, Fraction) else epsilon
+    inside = set(inside)
+    return concentration(configuration, inside) <= eps
+
+
+def is_consensus(protocol: PopulationProtocol, configuration: Multiset, b: int) -> bool:
+    """True iff ``O(C) = b``: all populated states output ``b``."""
+    return protocol.output_of(configuration) == b
+
+
+def is_silent(protocol: PopulationProtocol, configuration: Multiset) -> bool:
+    """True iff no enabled transition changes the configuration.
+
+    Silent configurations are trivially stable: nothing reachable from
+    them differs from them, hence they lie in ``SC_{O(C)}`` whenever
+    their output is defined.
+    """
+    for t in protocol.transitions:
+        if not t.is_silent and t.enabled_in(configuration):
+            if not t.displacement.is_zero:
+                return False
+    return True

@@ -1,0 +1,80 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch library-level failures with a
+single ``except`` clause while letting genuine bugs (``TypeError`` and
+friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ProtocolError(ReproError):
+    """A population protocol definition is malformed.
+
+    Raised when a protocol violates the well-formedness conditions of
+    Section 2.2 of the paper: transitions referring to unknown states,
+    input mappings to unknown states, missing output values, and so on.
+    """
+
+
+class ConfigurationError(ReproError):
+    """A configuration is invalid for the operation requested.
+
+    Typical causes: negative multiplicities where a configuration
+    (an element of N^Q) is required, fewer than two agents, or states
+    that do not belong to the protocol at hand.
+    """
+
+
+class TransitionNotEnabled(ReproError):
+    """An attempt was made to fire a transition that is not enabled."""
+
+
+class UndefinedOutput(ReproError):
+    """The output O(C) of a configuration is undefined.
+
+    A configuration has a defined output only when all populated states
+    agree on their output value (stable consensus candidate).
+    """
+
+
+class VerificationError(ReproError):
+    """A protocol was found *not* to compute the predicate it claims.
+
+    Instances carry the offending input and a human-readable diagnosis,
+    typically including a reachable bottom SCC without the correct
+    consensus.
+    """
+
+    def __init__(self, message: str, *, input_value=None, witness=None):
+        super().__init__(message)
+        self.input_value = input_value
+        self.witness = witness
+
+
+class CertificateError(ReproError):
+    """A pumping certificate (Lemma 4.1 / Lemma 5.2) failed to check."""
+
+
+class SearchBudgetExceeded(ReproError):
+    """An exhaustive search exceeded its configured node or size budget.
+
+    State spaces of population protocols grow as binomial coefficients
+    in the population size; exact analyses therefore take explicit
+    budgets and fail loudly instead of running away.
+    """
+
+
+class UnrepresentableNumber(ReproError):
+    """A bound is too large to be materialised as an exact integer.
+
+    The paper's constants (e.g. ``beta(n) = 2^(2(2n+1)!+1)``) exceed any
+    feasible memory already for moderate ``n``; the :mod:`repro.bounds`
+    module raises this instead of attempting to allocate the integer,
+    and offers ``log2``-space variants that always succeed.
+    """

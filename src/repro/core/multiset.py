@@ -1,0 +1,316 @@
+"""Multisets over finite sets and integer vectors (Section 2.1 of the paper).
+
+The paper works with two closely related objects:
+
+* *multisets* ``m`` in ``N^B`` — finite maps from a set ``B`` to the
+  naturals, used for populations, inputs and Parikh images;
+* *vectors* ``v`` in ``Z^B`` — the same, but with integer (possibly
+  negative) entries, used for transition displacements.
+
+Both are provided here by a single immutable class :class:`Multiset`.
+Entries that are zero are never stored, so two multisets are equal iff
+their non-zero entries agree; ``B`` itself is implicit (the algebra in
+the paper extends vectors "with zeroes if necessary", and so do we).
+
+Example
+-------
+>>> m = Multiset({"a": 1, "b": 2})
+>>> m + Multiset({"b": 1})
+Multiset({'a': 1, 'b': 3})
+>>> m.size
+3
+>>> sorted(m.support())
+['a', 'b']
+>>> m <= Multiset({"a": 1, "b": 2, "c": 5})
+True
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, Mapping, Set, Tuple, Union
+
+__all__ = ["Multiset", "EMPTY"]
+
+Key = Hashable
+
+
+class Multiset(Mapping[Key, int]):
+    """An immutable integer-valued mapping: ``N^B`` or ``Z^B``.
+
+    Zero entries are dropped on construction, so the object is a sparse
+    representation and equality is extensional.  All arithmetic returns
+    new instances; instances are hashable and can be used as dictionary
+    keys (configurations in a reachability graph, for instance).
+
+    Parameters
+    ----------
+    items:
+        A mapping or an iterable of keys.  An iterable of keys counts
+        occurrences, so ``Multiset("aab")`` is ``(2*a, b)`` in the
+        paper's notation.
+    """
+
+    __slots__ = ("_data", "_hash")
+
+    _data: Dict[Key, int]
+    _hash: int
+
+    def __init__(self, items: Union[Mapping[Key, int], Iterable[Key], None] = None):
+        data: Dict[Key, int] = {}
+        if items is None:
+            pass
+        elif isinstance(items, Multiset):
+            data = dict(items._data)
+        elif isinstance(items, Mapping):
+            for key, count in items.items():
+                if not isinstance(count, int):
+                    raise TypeError(f"multiplicity of {key!r} must be int, got {type(count).__name__}")
+                if count != 0:
+                    data[key] = count
+        else:
+            for key in items:
+                data[key] = data.get(key, 0) + 1
+        object.__setattr__(self, "_data", data)
+        object.__setattr__(self, "_hash", -1)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def singleton(key: Key, count: int = 1) -> "Multiset":
+        """The multiset with ``count`` copies of ``key`` and nothing else."""
+        return Multiset({key: count})
+
+    @staticmethod
+    def from_items(*items: Key) -> "Multiset":
+        """Build from an explicit enumeration: ``from_items('a', 'b', 'b')``."""
+        return Multiset(items)
+
+    # ------------------------------------------------------------------
+    # Mapping protocol
+    # ------------------------------------------------------------------
+
+    def __getitem__(self, key: Key) -> int:
+        """Multiplicity of ``key``; zero for absent keys (total function)."""
+        return self._data.get(key, 0)
+
+    def get(self, key: Key, default: int = 0) -> int:
+        """Multiplicity of ``key`` with an explicit default."""
+        return self._data.get(key, default)
+
+    def __iter__(self) -> Iterator[Key]:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        """Number of keys with non-zero multiplicity (size of the support)."""
+        return len(self._data)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._data
+
+    def keys(self):
+        """Keys with non-zero multiplicity."""
+        return self._data.keys()
+
+    def items(self):
+        """``(key, multiplicity)`` pairs (non-zero entries only)."""
+        return self._data.items()
+
+    def values(self):
+        """Non-zero multiplicities."""
+        return self._data.values()
+
+    # ------------------------------------------------------------------
+    # Multiset-specific accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """``|m| = m(B)``: the sum of all multiplicities.
+
+        For a configuration this is the number of agents.  Only
+        meaningful as a "size" when the multiset is natural.
+        """
+        return sum(self._data.values())
+
+    def count(self, keys: Iterable[Key]) -> int:
+        """``m(B')`` for a subset ``B'``: total multiplicity over ``keys``."""
+        get = self._data.get
+        return sum(get(k, 0) for k in keys)
+
+    def support(self) -> Set[Key]:
+        """``[[m]]``: the set of keys with non-zero multiplicity."""
+        return set(self._data)
+
+    @property
+    def is_natural(self) -> bool:
+        """True iff every multiplicity is non-negative (``m`` is in N^B)."""
+        return all(v >= 0 for v in self._data.values())
+
+    @property
+    def is_zero(self) -> bool:
+        """True iff this is the zero vector / empty multiset."""
+        return not self._data
+
+    def norm1(self) -> int:
+        """``||v||_1``: sum of absolute values of the entries."""
+        return sum(abs(v) for v in self._data.values())
+
+    def norm_inf(self) -> int:
+        """``||v||_inf``: maximum absolute value of an entry (0 if empty)."""
+        return max((abs(v) for v in self._data.values()), default=0)
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+
+    def _binary(self, other: "Multiset", sign: int) -> "Multiset":
+        if not isinstance(other, Multiset):
+            return NotImplemented  # type: ignore[return-value]
+        data = dict(self._data)
+        for key, count in other._data.items():
+            new = data.get(key, 0) + sign * count
+            if new:
+                data[key] = new
+            else:
+                data.pop(key, None)
+        result = Multiset()
+        object.__setattr__(result, "_data", data)
+        return result
+
+    def __add__(self, other: "Multiset") -> "Multiset":
+        return self._binary(other, +1)
+
+    def __sub__(self, other: "Multiset") -> "Multiset":
+        return self._binary(other, -1)
+
+    def __mul__(self, scalar: int) -> "Multiset":
+        if not isinstance(scalar, int):
+            return NotImplemented  # type: ignore[return-value]
+        if scalar == 0:
+            return EMPTY
+        return Multiset({k: scalar * v for k, v in self._data.items()})
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Multiset":
+        return self * -1
+
+    # ------------------------------------------------------------------
+    # Orders
+    # ------------------------------------------------------------------
+
+    def __le__(self, other: "Multiset") -> bool:
+        """Pointwise order: ``self <= other`` iff every entry is <=."""
+        if not isinstance(other, Multiset):
+            return NotImplemented  # type: ignore[return-value]
+        for key, count in self._data.items():
+            if count > other[key]:
+                return False
+        for key, count in other._data.items():
+            if key not in self._data and count < 0:
+                return False
+        return True
+
+    def __lt__(self, other: "Multiset") -> bool:
+        """Strict pointwise order (the paper's ``u <~ v``): <= and !=."""
+        if not isinstance(other, Multiset):
+            return NotImplemented  # type: ignore[return-value]
+        return self <= other and self != other
+
+    def __ge__(self, other: "Multiset") -> bool:
+        if not isinstance(other, Multiset):
+            return NotImplemented  # type: ignore[return-value]
+        return other <= self
+
+    def __gt__(self, other: "Multiset") -> bool:
+        if not isinstance(other, Multiset):
+            return NotImplemented  # type: ignore[return-value]
+        return other < self
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Multiset):
+            return self._data == other._data
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        if isinstance(other, Multiset):
+            return self._data != other._data
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        h = self._hash
+        if h == -1:
+            h = hash(frozenset(self._data.items()))
+            if h == -1:
+                h = -2
+            object.__setattr__(self, "_hash", h)
+        return h
+
+    # ------------------------------------------------------------------
+    # Restriction / projection
+    # ------------------------------------------------------------------
+
+    def restrict(self, keys: Iterable[Key]) -> "Multiset":
+        """The multiset agreeing with ``self`` on ``keys`` and 0 elsewhere."""
+        keyset = set(keys)
+        return Multiset({k: v for k, v in self._data.items() if k in keyset})
+
+    def drop(self, keys: Iterable[Key]) -> "Multiset":
+        """The multiset with all entries on ``keys`` removed (set to 0)."""
+        keyset = set(keys)
+        return Multiset({k: v for k, v in self._data.items() if k not in keyset})
+
+    def supported_on(self, keys: Iterable[Key]) -> bool:
+        """True iff the support is contained in ``keys`` (``m in N^S``)."""
+        keyset = set(keys)
+        return all(k in keyset for k in self._data)
+
+    # ------------------------------------------------------------------
+    # Iteration over elements
+    # ------------------------------------------------------------------
+
+    def elements(self) -> Iterator[Key]:
+        """Yield each key as many times as its multiplicity.
+
+        Requires a natural multiset; raises ``ValueError`` otherwise.
+        """
+        for key, count in self._data.items():
+            if count < 0:
+                raise ValueError(f"elements() on non-natural multiset: {key!r} has count {count}")
+            for _ in range(count):
+                yield key
+
+    def to_vector(self, order: Iterable[Key]) -> Tuple[int, ...]:
+        """Densify to a tuple following the given key ``order``."""
+        return tuple(self._data.get(k, 0) for k in order)
+
+    @staticmethod
+    def from_vector(order: Iterable[Key], vector: Iterable[int]) -> "Multiset":
+        """Inverse of :meth:`to_vector`."""
+        return Multiset({k: v for k, v in zip(order, vector) if v})
+
+    # ------------------------------------------------------------------
+    # Display
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        try:
+            inner = dict(sorted(self._data.items(), key=lambda kv: repr(kv[0])))
+        except TypeError:  # unorderable reprs cannot happen, but be safe
+            inner = self._data
+        return f"Multiset({inner!r})"
+
+    def pretty(self) -> str:
+        """Paper-style rendering, e.g. ``(a, 2*b)``; ``(0)`` when empty."""
+        if not self._data:
+            return "(0)"
+        parts = []
+        for key, count in sorted(self._data.items(), key=lambda kv: str(kv[0])):
+            parts.append(str(key) if count == 1 else f"{count}*{key}")
+        return "(" + ", ".join(parts) + ")"
+
+
+EMPTY = Multiset()
+"""The empty multiset (the zero vector)."""

@@ -1,0 +1,252 @@
+"""A text format for Presburger predicates.
+
+Accepts the human syntax used throughout the paper and this README::
+
+    x >= 10
+    x - y >= 1
+    2*x + 3*y <= 7
+    x = 1 (mod 3)
+    x >= 5 and x = 0 (mod 2)
+    not (x >= 3) or y > 2
+    true
+
+Grammar (``and`` binds tighter than ``or``; ``not`` tightest)::
+
+    expr     := disj
+    disj     := conj ('or' conj)*
+    conj     := unit ('and' unit)*
+    unit     := 'not' unit | '(' expr ')' | atom
+    atom     := linear CMP integer [modsuffix] | 'true' | 'false'
+    modsuffix:= '(' 'mod' integer ')'          (only with '=' / '!=')
+    CMP      := '>=' | '<=' | '>' | '<' | '=' | '==' | '!='
+    linear   := ['-'] term (('+'|'-') term)*
+    term     := [integer '*'] variable | integer '*' variable
+
+Comparators desugar onto the library's two atoms:
+
+* ``L >= c`` — a :class:`~repro.core.predicates.Threshold`;
+* ``L > c`` is ``L >= c+1``; ``L <= c`` is ``not (L >= c+1)``;
+  ``L < c`` is ``not (L >= c)``;
+* ``L = c`` (no mod) is ``L >= c and L <= c``; ``L != c`` its negation;
+* ``L = r (mod m)`` — a :class:`~repro.core.predicates.Modulo`;
+  ``L != r (mod m)`` its negation.
+
+:func:`parse_predicate` returns a :class:`Predicate`; together with
+:func:`repro.protocols.compiler.compile_predicate` this gives the
+text-to-protocol pipeline used by the command-line interface.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .predicates import And, Constant, Modulo, Not, Or, Predicate, Threshold
+
+__all__ = ["parse_predicate", "PredicateSyntaxError"]
+
+
+class PredicateSyntaxError(ValueError):
+    """Raised on malformed predicate text, with position information."""
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<num>\d+)|(?P<name>[A-Za-z_][A-Za-z_0-9]*)|"
+    r"(?P<op>>=|<=|==|!=|[><=+\-*()]))"
+)
+
+_KEYWORDS = {"and", "or", "not", "mod", "true", "false"}
+
+
+def _tokenise(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            if text[position:].strip() == "":
+                break
+            raise PredicateSyntaxError(
+                f"unexpected character {text[position]!r} at position {position}"
+            )
+        position = match.end()
+        if match.group("num"):
+            tokens.append(("num", match.group("num")))
+        elif match.group("name"):
+            name = match.group("name")
+            kind = "kw" if name in _KEYWORDS else "var"
+            tokens.append((kind, name))
+        else:
+            tokens.append(("op", match.group("op")))
+    tokens.append(("end", ""))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenise(text)
+        self.index = 0
+
+    # ------------------------------------------------------------------
+
+    def peek(self) -> Tuple[str, str]:
+        return self.tokens[self.index]
+
+    def advance(self) -> Tuple[str, str]:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Tuple[str, str]:
+        token = self.advance()
+        if token[0] != kind or (value is not None and token[1] != value):
+            want = value or kind
+            raise PredicateSyntaxError(
+                f"expected {want!r} but found {token[1] or 'end of input'!r} in {self.text!r}"
+            )
+        return token
+
+    # ------------------------------------------------------------------
+
+    def parse(self) -> Predicate:
+        result = self.disjunction()
+        if self.peek()[0] != "end":
+            raise PredicateSyntaxError(
+                f"trailing input starting at {self.peek()[1]!r} in {self.text!r}"
+            )
+        return result
+
+    def disjunction(self) -> Predicate:
+        left = self.conjunction()
+        while self.peek() == ("kw", "or"):
+            self.advance()
+            left = Or(left, self.conjunction())
+        return left
+
+    def conjunction(self) -> Predicate:
+        left = self.unit()
+        while self.peek() == ("kw", "and"):
+            self.advance()
+            left = And(left, self.unit())
+        return left
+
+    def unit(self) -> Predicate:
+        kind, value = self.peek()
+        if (kind, value) == ("kw", "not"):
+            self.advance()
+            return Not(self.unit())
+        if (kind, value) == ("kw", "true"):
+            self.advance()
+            return Constant(True)
+        if (kind, value) == ("kw", "false"):
+            self.advance()
+            return Constant(False)
+        if (kind, value) == ("op", "("):
+            # parenthesised sub-expression or the start of an atom's
+            # linear part — disambiguate by scanning for a comparator
+            # before the matching close parenthesis.
+            if self._parenthesis_is_expression():
+                self.advance()
+                inner = self.disjunction()
+                self.expect("op", ")")
+                return inner
+        return self.atom()
+
+    def _parenthesis_is_expression(self) -> bool:
+        """Does the '(' at the cursor wrap a boolean expression?"""
+        depth = 0
+        for kind, value in self.tokens[self.index :]:
+            if (kind, value) == ("op", "("):
+                depth += 1
+            elif (kind, value) == ("op", ")"):
+                depth -= 1
+                if depth == 0:
+                    return False  # closed without boolean content: linear
+            elif kind == "kw" and value in ("and", "or", "not", "true", "false"):
+                return True
+            elif kind == "op" and value in (">=", "<=", ">", "<", "=", "==", "!="):
+                return True
+            elif kind == "end":
+                break
+        return False
+
+    # ------------------------------------------------------------------
+
+    def atom(self) -> Predicate:
+        coefficients = self.linear()
+        op = self.expect("op")[1]
+        if op not in (">=", "<=", ">", "<", "=", "==", "!="):
+            raise PredicateSyntaxError(f"expected a comparator, found {op!r} in {self.text!r}")
+        constant = self.integer()
+        if self.peek() == ("op", "("):
+            save = self.index
+            self.advance()
+            if self.peek() == ("kw", "mod"):
+                self.advance()
+                modulus = self.integer()
+                self.expect("op", ")")
+                if op in ("=", "=="):
+                    return Modulo(coefficients, constant, modulus)
+                if op == "!=":
+                    return Not(Modulo(coefficients, constant, modulus))
+                raise PredicateSyntaxError(
+                    f"comparator {op!r} cannot take a (mod ...) suffix in {self.text!r}"
+                )
+            self.index = save
+
+        at_least = lambda c: Threshold(coefficients, c)
+        if op == ">=":
+            return at_least(constant)
+        if op == ">":
+            return at_least(constant + 1)
+        if op == "<=":
+            return Not(at_least(constant + 1))
+        if op == "<":
+            return Not(at_least(constant))
+        if op in ("=", "=="):
+            return And(at_least(constant), Not(at_least(constant + 1)))
+        return Not(And(at_least(constant), Not(at_least(constant + 1))))  # !=
+
+    def linear(self) -> Dict[str, int]:
+        coefficients: Dict[str, int] = {}
+        sign = 1
+        if self.peek() == ("op", "-"):
+            self.advance()
+            sign = -1
+        while True:
+            coefficient = sign
+            kind, value = self.peek()
+            if kind == "num":
+                self.advance()
+                coefficient = sign * int(value)
+                if self.peek() == ("op", "*"):
+                    self.advance()
+                else:
+                    raise PredicateSyntaxError(
+                        f"number {value} must multiply a variable (write {value}*x) in {self.text!r}"
+                    )
+            kind, name = self.expect("var")
+            coefficients[name] = coefficients.get(name, 0) + coefficient
+            kind, value = self.peek()
+            if (kind, value) == ("op", "+"):
+                self.advance()
+                sign = 1
+            elif (kind, value) == ("op", "-"):
+                self.advance()
+                sign = -1
+            else:
+                return coefficients
+
+    def integer(self) -> int:
+        sign = 1
+        if self.peek() == ("op", "-"):
+            self.advance()
+            sign = -1
+        token = self.expect("num")
+        return sign * int(token[1])
+
+
+def parse_predicate(text: str) -> Predicate:
+    """Parse predicate text into a :class:`Predicate` (see module docs)."""
+    return _Parser(text).parse()

@@ -1,0 +1,218 @@
+"""Predicates over inputs: the properties population protocols compute.
+
+Population protocols compute exactly the Presburger predicates
+(Angluin et al. [8]), and every Presburger predicate is a boolean
+combination of *threshold* and *modulo* constraints.  This module
+provides exactly that fragment:
+
+* :class:`Threshold` — ``sum_i a_i * x_i >= c`` (the paper's central
+  ``x >= eta`` is ``Threshold({"x": 1}, eta)``);
+* :class:`Modulo` — ``sum_i a_i * x_i = c (mod m)``;
+* :class:`Not`, :class:`And`, :class:`Or` — boolean combinations;
+* :class:`Constant` — the trivially true/false predicate.
+
+Predicates are immutable, hashable, evaluate on multiset inputs, and
+print in readable mathematical notation.  They serve both as *claims*
+attached to protocol constructions and as ground truth for the exact
+verifier in :mod:`repro.analysis.verification`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Mapping, Tuple, Union
+
+from .multiset import Multiset
+
+__all__ = ["Predicate", "Threshold", "Modulo", "Not", "And", "Or", "Constant", "counting", "majority"]
+
+Variable = Hashable
+InputLike = Union[int, Mapping[Variable, int], Multiset]
+
+
+def _as_input(value: InputLike, variables: Tuple[Variable, ...]) -> Multiset:
+    """Coerce ``value`` to an input multiset.
+
+    Integers are allowed when the predicate mentions exactly one
+    variable, mirroring ``IC(i)`` in the paper.
+    """
+    if isinstance(value, int):
+        if len(variables) != 1:
+            raise ValueError(f"integer input requires a single-variable predicate, got variables {variables}")
+        return Multiset({variables[0]: value})
+    if isinstance(value, Multiset):
+        return value
+    return Multiset(dict(value))
+
+
+class Predicate:
+    """Base class: a boolean function on input multisets ``N^X``."""
+
+    def variables(self) -> Tuple[Variable, ...]:
+        """The input variables the predicate mentions, in fixed order."""
+        raise NotImplementedError
+
+    def evaluate(self, inputs: InputLike) -> bool:
+        """The truth value ``phi(v)`` on the given input."""
+        raise NotImplementedError
+
+    def __call__(self, inputs: InputLike) -> bool:
+        return self.evaluate(inputs)
+
+    # boolean operator sugar ------------------------------------------------
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And(self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or(self, other)
+
+
+@dataclass(frozen=True)
+class Threshold(Predicate):
+    """The linear constraint ``sum_i a_i * x_i >= c``.
+
+    ``Threshold({"x": 1}, eta)`` is the paper's counting predicate
+    ``x >= eta``.  Coefficients may be negative, which is how majority
+    (``x - y >= 1``) is expressed.
+    """
+
+    coefficients: Tuple[Tuple[Variable, int], ...]
+    constant: int
+
+    def __init__(self, coefficients: Mapping[Variable, int], constant: int):
+        object.__setattr__(
+            self, "coefficients", tuple(sorted(coefficients.items(), key=lambda kv: str(kv[0])))
+        )
+        object.__setattr__(self, "constant", constant)
+
+    def variables(self) -> Tuple[Variable, ...]:
+        return tuple(v for v, _ in self.coefficients)
+
+    def evaluate(self, inputs: InputLike) -> bool:
+        m = _as_input(inputs, self.variables())
+        return sum(a * m[v] for v, a in self.coefficients) >= self.constant
+
+    def __str__(self) -> str:
+        terms = " + ".join(f"{a}*{v}" if a != 1 else str(v) for v, a in self.coefficients)
+        return f"{terms} >= {self.constant}"
+
+
+def counting(eta: int, variable: Variable = "x") -> Threshold:
+    """The paper's counting predicate ``x >= eta``."""
+    return Threshold({variable: 1}, eta)
+
+
+@dataclass(frozen=True)
+class Modulo(Predicate):
+    """The modular constraint ``sum_i a_i * x_i = c (mod m)``."""
+
+    coefficients: Tuple[Tuple[Variable, int], ...]
+    remainder: int
+    modulus: int
+
+    def __init__(self, coefficients: Mapping[Variable, int], remainder: int, modulus: int):
+        if modulus <= 0:
+            raise ValueError(f"modulus must be positive, got {modulus}")
+        object.__setattr__(
+            self, "coefficients", tuple(sorted(coefficients.items(), key=lambda kv: str(kv[0])))
+        )
+        object.__setattr__(self, "remainder", remainder % modulus)
+        object.__setattr__(self, "modulus", modulus)
+
+    def variables(self) -> Tuple[Variable, ...]:
+        return tuple(v for v, _ in self.coefficients)
+
+    def evaluate(self, inputs: InputLike) -> bool:
+        m = _as_input(inputs, self.variables())
+        return sum(a * m[v] for v, a in self.coefficients) % self.modulus == self.remainder
+
+    def __str__(self) -> str:
+        terms = " + ".join(f"{a}*{v}" if a != 1 else str(v) for v, a in self.coefficients)
+        return f"{terms} = {self.remainder} (mod {self.modulus})"
+
+
+@dataclass(frozen=True)
+class Constant(Predicate):
+    """The constant predicate ``true`` or ``false``."""
+
+    value: bool
+
+    def variables(self) -> Tuple[Variable, ...]:
+        return ()
+
+    def evaluate(self, inputs: InputLike) -> bool:
+        return self.value
+
+    def __str__(self) -> str:
+        return "true" if self.value else "false"
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    """Negation."""
+
+    operand: Predicate
+
+    def variables(self) -> Tuple[Variable, ...]:
+        return self.operand.variables()
+
+    def evaluate(self, inputs: InputLike) -> bool:
+        m = _as_input(inputs, self.variables())
+        return not self.operand.evaluate(m)
+
+    def __str__(self) -> str:
+        return f"not ({self.operand})"
+
+
+def _merged_variables(left: Predicate, right: Predicate) -> Tuple[Variable, ...]:
+    seen: Dict[Variable, None] = {}
+    for v in left.variables():
+        seen.setdefault(v)
+    for v in right.variables():
+        seen.setdefault(v)
+    return tuple(seen)
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    """Conjunction."""
+
+    left: Predicate
+    right: Predicate
+
+    def variables(self) -> Tuple[Variable, ...]:
+        return _merged_variables(self.left, self.right)
+
+    def evaluate(self, inputs: InputLike) -> bool:
+        m = _as_input(inputs, self.variables())
+        return self.left.evaluate(m) and self.right.evaluate(m)
+
+    def __str__(self) -> str:
+        return f"({self.left}) and ({self.right})"
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    """Disjunction."""
+
+    left: Predicate
+    right: Predicate
+
+    def variables(self) -> Tuple[Variable, ...]:
+        return _merged_variables(self.left, self.right)
+
+    def evaluate(self, inputs: InputLike) -> bool:
+        m = _as_input(inputs, self.variables())
+        return self.left.evaluate(m) or self.right.evaluate(m)
+
+    def __str__(self) -> str:
+        return f"({self.left}) or ({self.right})"
+
+
+def majority(x: Variable = "x", y: Variable = "y") -> Threshold:
+    """The majority predicate ``x > y``, i.e. ``x - y >= 1``."""
+    return Threshold({x: 1, y: -1}, 1)

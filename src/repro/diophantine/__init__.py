@@ -1,0 +1,19 @@
+"""Homogeneous linear Diophantine systems: Hilbert bases and Pottier bounds."""
+
+from .pottier import (
+    brute_force_minimal_solutions,
+    decompose,
+    is_solution,
+    pottier_norm_bound,
+    solve_equalities,
+    solve_inequalities,
+)
+
+__all__ = [
+    "solve_equalities",
+    "solve_inequalities",
+    "pottier_norm_bound",
+    "brute_force_minimal_solutions",
+    "is_solution",
+    "decompose",
+]

@@ -1,0 +1,303 @@
+"""Minimal solutions of homogeneous linear Diophantine systems.
+
+This module implements the algorithmic side of Pottier's small basis
+theorem (Theorem 5.6 in the paper, [Pottier 1991]):
+
+    For a homogeneous system ``A y >= 0`` of ``e`` inequalities over
+    ``v`` natural variables there is a basis ``B`` of solutions with
+    ``||m||_1 <= (1 + max_i sum_j |a_ij|)^e`` for every ``m`` in ``B``.
+
+Here a *basis* is a set of solutions such that every solution is a sum
+of a multiset of basis solutions — i.e. a generating set of the
+solution monoid.  The set of *minimal* non-zero solutions (the Hilbert
+basis) is such a basis, and it is what we compute:
+
+* :func:`solve_equalities` — minimal solutions of ``A y = 0`` via the
+  Contejean–Devie completion procedure;
+* :func:`solve_inequalities` — minimal solutions of ``A y >= 0`` by
+  introducing slack variables (one per row) and projecting;
+* :func:`pottier_norm_bound` — the closed-form norm bound of
+  Theorem 5.6, for checking that computed bases respect it;
+* :func:`brute_force_minimal_solutions` — reference implementation by
+  exhaustive enumeration, used by the test suite to validate the
+  completion procedure on small systems.
+
+The Contejean–Devie procedure is a breadth-first completion starting
+from the unit vectors: a frontier vector ``t`` is extended by the unit
+vector ``e_i`` whenever the geometric condition
+``<A t, A e_i> < 0`` holds (the defect can shrink), and is recorded as
+minimal when ``A t = 0``.  Vectors dominating an already-found minimal
+solution are pruned.  See Contejean & Devie, *An efficient incremental
+algorithm for solving systems of linear Diophantine equations* (1994).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..core.errors import SearchBudgetExceeded
+
+__all__ = [
+    "solve_equalities",
+    "solve_inequalities",
+    "solve_equalities_inhomogeneous",
+    "pottier_norm_bound",
+    "brute_force_minimal_solutions",
+    "is_solution",
+    "decompose",
+]
+
+Vector = Tuple[int, ...]
+Matrix = Sequence[Sequence[int]]
+
+DEFAULT_FRONTIER_BUDGET = 2_000_000
+
+
+def _image(matrix: Matrix, vector: Sequence[int]) -> Vector:
+    """``A v`` for an integer matrix and vector."""
+    return tuple(sum(row[j] * vector[j] for j in range(len(vector))) for row in matrix)
+
+
+def _dominates(v: Sequence[int], w: Sequence[int]) -> bool:
+    """True iff ``v >= w`` componentwise."""
+    return all(a >= b for a, b in zip(v, w))
+
+
+def is_solution(matrix: Matrix, vector: Sequence[int], *, equalities: bool) -> bool:
+    """Does ``vector`` satisfy ``A v = 0`` (or ``A v >= 0``)?"""
+    image = _image(matrix, vector)
+    if equalities:
+        return all(x == 0 for x in image)
+    return all(x >= 0 for x in image)
+
+
+def solve_equalities(
+    matrix: Matrix,
+    frontier_budget: int = DEFAULT_FRONTIER_BUDGET,
+) -> List[Vector]:
+    """Minimal non-zero natural solutions of ``A y = 0`` (Hilbert basis).
+
+    Parameters
+    ----------
+    matrix:
+        The ``e x v`` integer matrix ``A``, as a sequence of rows.
+    frontier_budget:
+        Upper bound on the number of frontier vectors processed, as a
+        guard against systems whose basis is astronomically large.
+
+    Returns
+    -------
+    The complete set of minimal solutions, sorted lexicographically.
+
+    Raises
+    ------
+    SearchBudgetExceeded
+        If the completion frontier exceeds the budget.
+    """
+    if not matrix:
+        raise ValueError("matrix must have at least one row (use [] rows of correct width)")
+    num_vars = len(matrix[0])
+    for row in matrix:
+        if len(row) != num_vars:
+            raise ValueError("all matrix rows must have equal length")
+    if num_vars == 0:
+        return []
+
+    units: List[Vector] = []
+    unit_images: List[Vector] = []
+    for i in range(num_vars):
+        unit = tuple(1 if j == i else 0 for j in range(num_vars))
+        units.append(unit)
+        unit_images.append(_image(matrix, unit))
+
+    minimal: List[Vector] = []
+    frontier: List[Tuple[Vector, Vector]] = [(u, img) for u, img in zip(units, unit_images)]
+    processed = 0
+
+    while frontier:
+        next_frontier: List[Tuple[Vector, Vector]] = []
+        seen_next = set()
+        for vector, image in frontier:
+            processed += 1
+            if processed > frontier_budget:
+                raise SearchBudgetExceeded(
+                    f"Contejean-Devie completion exceeded {frontier_budget} frontier vectors"
+                )
+            if all(x == 0 for x in image):
+                if not any(_dominates(vector, m) for m in minimal):
+                    minimal = [m for m in minimal if not _dominates(m, vector)]
+                    minimal.append(vector)
+                continue
+            for i in range(num_vars):
+                # Geometric restriction: only grow coordinate i when it
+                # can reduce the defect, i.e. <A t, A e_i> < 0.
+                dot = sum(a * b for a, b in zip(image, unit_images[i]))
+                if dot >= 0:
+                    continue
+                extended = tuple(v + 1 if j == i else v for j, v in enumerate(vector))
+                if any(_dominates(extended, m) for m in minimal):
+                    continue
+                if extended in seen_next:
+                    continue
+                seen_next.add(extended)
+                new_image = tuple(a + b for a, b in zip(image, unit_images[i]))
+                next_frontier.append((extended, new_image))
+        frontier = next_frontier
+
+    # A final sweep: during the run, vectors were only pruned against
+    # minimal solutions found *so far*; prune mutually.
+    result = []
+    for vector in minimal:
+        if not any(v != vector and _dominates(vector, v) for v in minimal):
+            result.append(vector)
+    return sorted(result)
+
+
+def solve_inequalities(
+    matrix: Matrix,
+    frontier_budget: int = DEFAULT_FRONTIER_BUDGET,
+) -> List[Vector]:
+    """A generating basis of the natural solutions of ``A y >= 0``.
+
+    Implemented by adding one slack variable per row (``A y - s = 0``)
+    and projecting the minimal solutions of the resulting equality
+    system back onto the original variables.  The projections generate
+    the solution monoid of the inequality system: each solution ``y``
+    lifts uniquely to ``(y, A y)``, which decomposes into minimal
+    equality solutions, whose projections sum to ``y``.
+
+    Zero projections (solutions supported on slacks only — impossible
+    for homogeneous systems, but kept for safety) are dropped, and the
+    result is deduplicated and sorted.
+    """
+    if not matrix:
+        raise ValueError("matrix must have at least one row")
+    num_vars = len(matrix[0])
+    num_rows = len(matrix)
+    extended_rows: List[List[int]] = []
+    for r, row in enumerate(matrix):
+        slack = [0] * num_rows
+        slack[r] = -1
+        extended_rows.append(list(row) + slack)
+    combined = solve_equalities(extended_rows, frontier_budget=frontier_budget)
+    projections = sorted({vec[:num_vars] for vec in combined} - {tuple([0] * num_vars)})
+    return projections
+
+
+def solve_equalities_inhomogeneous(
+    matrix: Matrix,
+    rhs: Sequence[int],
+    frontier_budget: int = DEFAULT_FRONTIER_BUDGET,
+) -> Tuple[List[Vector], List[Vector]]:
+    """Solve ``A y = b`` over the naturals: minimal + homogeneous parts.
+
+    Uses the classical reduction: the solutions of ``A y = b``
+    correspond to solutions of the homogeneous system
+    ``A y - b z = 0`` with ``z = 1``.  The Hilbert basis of the
+    extended system splits into elements with ``z = 1`` (the *minimal
+    inhomogeneous solutions*) and ``z = 0`` (the homogeneous basis);
+    every solution of ``A y = b`` is one minimal solution plus a
+    natural combination of homogeneous basis elements.  (Basis elements
+    with ``z >= 2`` cannot contribute to a ``z = 1`` decomposition and
+    are discarded.)
+
+    Returns ``(minimal_solutions, homogeneous_basis)``; the system is
+    solvable iff ``minimal_solutions`` is non-empty.
+    """
+    if not matrix:
+        raise ValueError("matrix must have at least one row")
+    if len(rhs) != len(matrix):
+        raise ValueError(f"rhs has {len(rhs)} entries for {len(matrix)} rows")
+    num_vars = len(matrix[0])
+    extended = [list(row) + [-b] for row, b in zip(matrix, rhs)]
+    basis = solve_equalities(extended, frontier_budget=frontier_budget)
+    particular = sorted(v[:num_vars] for v in basis if v[num_vars] == 1)
+    homogeneous = sorted(v[:num_vars] for v in basis if v[num_vars] == 0)
+    return particular, homogeneous
+
+
+def pottier_norm_bound(matrix: Matrix) -> int:
+    """Pottier's norm bound ``(1 + max_i sum_j |a_ij|)^e`` (Theorem 5.6).
+
+    Every element of some basis of ``A y >= 0`` has 1-norm at most this
+    value.  Note this bounds *some* basis; the Hilbert basis we compute
+    empirically respects it on all systems arising from protocols,
+    which is exactly what experiment E5 checks.
+    """
+    if not matrix:
+        raise ValueError("matrix must have at least one row")
+    row_sum = max(sum(abs(a) for a in row) for row in matrix)
+    return (1 + row_sum) ** len(matrix)
+
+
+def brute_force_minimal_solutions(
+    matrix: Matrix,
+    max_norm: int,
+    *,
+    equalities: bool,
+) -> List[Vector]:
+    """All minimal non-zero solutions with ``||y||_1 <= max_norm``.
+
+    Exhaustive reference implementation for the test suite.  Complete
+    whenever ``max_norm`` is at least the norm of every minimal
+    solution (e.g. :func:`pottier_norm_bound` for small systems).
+    """
+    if not matrix:
+        raise ValueError("matrix must have at least one row")
+    num_vars = len(matrix[0])
+    solutions: List[Vector] = []
+
+    def vectors_of_norm(total: int, dims: int):
+        if dims == 1:
+            yield (total,)
+            return
+        for head in range(total + 1):
+            for tail in vectors_of_norm(total - head, dims - 1):
+                yield (head,) + tail
+
+    for norm in range(1, max_norm + 1):
+        for vector in vectors_of_norm(norm, num_vars):
+            if not is_solution(matrix, vector, equalities=equalities):
+                continue
+            if any(_dominates(vector, m) for m in solutions):
+                continue
+            solutions.append(vector)
+    return sorted(solutions)
+
+
+def decompose(
+    basis: Iterable[Vector],
+    target: Sequence[int],
+) -> Optional[List[Tuple[Vector, int]]]:
+    """Express ``target`` as a natural combination of basis vectors.
+
+    Returns pairs ``(basis vector, multiplicity)`` summing to
+    ``target``, or ``None`` when no decomposition exists.  This is the
+    witness format used by tests validating the *generating* property
+    of computed bases.  Exponential-time exhaustive search; intended
+    for small vectors only.
+    """
+    basis_list = [b for b in basis if any(b)]
+    target_t = tuple(target)
+
+    def search(remaining: Vector, index: int) -> Optional[List[Tuple[Vector, int]]]:
+        if all(x == 0 for x in remaining):
+            return []
+        if index >= len(basis_list):
+            return None
+        vector = basis_list[index]
+        max_count = min(
+            (r // v for r, v in zip(remaining, vector) if v > 0),
+            default=0,
+        )
+        for count in range(max_count, -1, -1):
+            reduced = tuple(r - count * v for r, v in zip(remaining, vector))
+            if any(x < 0 for x in reduced):
+                continue
+            rest = search(reduced, index + 1)
+            if rest is not None:
+                return ([(vector, count)] if count else []) + rest
+        return None
+
+    return search(target_t, 0)

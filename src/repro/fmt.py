@@ -1,0 +1,47 @@
+"""Formatting helpers: aligned text tables for experiment reports.
+
+The benchmark harnesses print the paper-vs-measured tables of
+EXPERIMENTS.md through these helpers so every experiment renders
+consistently (and the recorded outputs diff cleanly between runs).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["render_table", "format_big", "section"]
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned, pipe-separated text table."""
+    materialised: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        materialised.append([str(cell) for cell in row])
+    widths = [max(len(row[i]) for row in materialised) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(materialised):
+        line = " | ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        lines.append(line.rstrip())
+        if index == 0:
+            lines.append("-+-".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def format_big(value: int, digit_limit: int = 12) -> str:
+    """Format a (possibly astronomically large) integer readably.
+
+    Small values print exactly; larger ones as ``~10^k``; callers
+    holding only ``log2`` exponents should format those directly.
+    """
+    digits = len(str(value)) if value >= 0 else len(str(-value)) + 1
+    if digits <= digit_limit:
+        return str(value)
+    exponent = digits - 1
+    lead = str(value)[:3]
+    return f"~{lead[0]}.{lead[1:]}e{exponent}"
+
+
+def section(title: str) -> str:
+    """A visually separated section header for console reports."""
+    bar = "=" * max(8, len(title))
+    return f"\n{bar}\n{title}\n{bar}"

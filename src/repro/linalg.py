@@ -1,0 +1,74 @@
+"""Exact rational linear algebra shared by the analysis modules.
+
+Small, dependency-free routines over :class:`fractions.Fraction` —
+used for invariant inference (left kernels of incidence/displacement
+matrices) where floating point would silently destroy exactness.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import gcd
+from typing import List, Sequence
+
+__all__ = ["rational_null_space", "normalise_integer_vector"]
+
+
+def rational_null_space(rows: Sequence[Sequence[Fraction]], width: int) -> List[List[Fraction]]:
+    """A basis of ``{w : row . w = 0 for every row}``.
+
+    ``rows`` is the constraint matrix (one row per constraint, ``width``
+    columns); the result spans the right null space, computed by exact
+    Gauss-Jordan elimination.
+    """
+    matrix = [list(map(Fraction, row)) for row in rows]
+    pivot_cols: List[int] = []
+    r = 0
+    for c in range(width):
+        pivot = None
+        for i in range(r, len(matrix)):
+            if matrix[i][c] != 0:
+                pivot = i
+                break
+        if pivot is None:
+            continue
+        matrix[r], matrix[pivot] = matrix[pivot], matrix[r]
+        factor = matrix[r][c]
+        matrix[r] = [x / factor for x in matrix[r]]
+        for i in range(len(matrix)):
+            if i != r and matrix[i][c] != 0:
+                scale = matrix[i][c]
+                matrix[i] = [a - scale * b for a, b in zip(matrix[i], matrix[r])]
+        pivot_cols.append(c)
+        r += 1
+        if r == len(matrix):
+            break
+    free_cols = [c for c in range(width) if c not in pivot_cols]
+    basis: List[List[Fraction]] = []
+    for free in free_cols:
+        vector = [Fraction(0)] * width
+        vector[free] = Fraction(1)
+        for row_index, pivot_col in enumerate(pivot_cols):
+            vector[pivot_col] = -matrix[row_index][free]
+        basis.append(vector)
+    return basis
+
+
+def normalise_integer_vector(vector: Sequence[Fraction]) -> List[Fraction]:
+    """Scale to coprime integers with a positive leading non-zero entry."""
+    denominators = [x.denominator for x in vector]
+    lcm = 1
+    for d in denominators:
+        lcm = lcm * d // gcd(lcm, d)
+    ints = [int(x * lcm) for x in vector]
+    g = 0
+    for x in ints:
+        g = gcd(g, abs(x))
+    if g > 1:
+        ints = [x // g for x in ints]
+    for x in ints:
+        if x != 0:
+            if x < 0:
+                ints = [-y for y in ints]
+            break
+    return [Fraction(x) for x in ints]

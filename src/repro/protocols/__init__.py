@@ -1,0 +1,48 @@
+"""Verified protocol constructions: the lower-bound witnesses and baselines."""
+
+from .builders import ProtocolBuilder
+from .combinators import conjunction, disjunction, negation, product
+from .compiler import compile_predicate
+from .intervals import (
+    exact_predicate,
+    exact_protocol,
+    interval_predicate,
+    interval_protocol,
+    upper_bound_predicate,
+    upper_bound_protocol,
+)
+from .leader_election import leader_election, unique_leader_certified
+from .leaders import leader_binary_threshold, leader_unary_threshold
+from .majority import majority_protocol
+from .modulo import modulo_protocol
+from .threshold_linear import linear_threshold, linear_threshold_predicate
+from .threshold_binary import binary_state_count, binary_threshold, example_2_1_binary
+from .threshold_flat import example_2_1_flat, flat_threshold
+
+__all__ = [
+    "ProtocolBuilder",
+    "flat_threshold",
+    "example_2_1_flat",
+    "binary_threshold",
+    "example_2_1_binary",
+    "binary_state_count",
+    "majority_protocol",
+    "modulo_protocol",
+    "leader_unary_threshold",
+    "leader_binary_threshold",
+    "negation",
+    "conjunction",
+    "disjunction",
+    "product",
+    "interval_protocol",
+    "interval_predicate",
+    "exact_protocol",
+    "exact_predicate",
+    "upper_bound_protocol",
+    "upper_bound_predicate",
+    "linear_threshold",
+    "linear_threshold_predicate",
+    "compile_predicate",
+    "leader_election",
+    "unique_leader_certified",
+]

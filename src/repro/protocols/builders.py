@@ -1,0 +1,96 @@
+"""A fluent builder for population protocols.
+
+Defining a protocol through :class:`~repro.core.protocol.PopulationProtocol`
+directly requires assembling all six components up front.  For
+hand-written protocols (examples, tests, exploratory work) the
+:class:`ProtocolBuilder` is more convenient:
+
+>>> from repro.protocols.builders import ProtocolBuilder
+>>> protocol = (
+...     ProtocolBuilder("my-majority")
+...     .state("A", output=1).state("B", output=0)
+...     .state("a", output=1).state("b", output=0)
+...     .rule("A", "B", "a", "b")
+...     .rule("A", "b", "A", "a")
+...     .rule("B", "a", "B", "b")
+...     .rule("a", "b", "b", "b")
+...     .input("x", "A").input("y", "B")
+...     .build()
+... )
+>>> protocol.num_states
+4
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional
+
+from ..core.errors import ProtocolError
+from ..core.multiset import Multiset
+from ..core.protocol import PopulationProtocol, Transition
+
+__all__ = ["ProtocolBuilder"]
+
+State = Hashable
+
+
+class ProtocolBuilder:
+    """Incrementally assemble a :class:`PopulationProtocol`.
+
+    States must be declared (with their output) before being used in
+    rules, inputs or leaders; :meth:`build` validates the result.
+    """
+
+    def __init__(self, name: str = "protocol"):
+        self._name = name
+        self._states: Dict[State, int] = {}
+        self._transitions: List[Transition] = []
+        self._inputs: Dict[Hashable, State] = {}
+        self._leaders: Dict[State, int] = {}
+
+    def state(self, name: State, output: int) -> "ProtocolBuilder":
+        """Declare a state with its output value (0 or 1)."""
+        if name in self._states and self._states[name] != output:
+            raise ProtocolError(f"state {name!r} redeclared with a different output")
+        self._states[name] = output
+        return self
+
+    def states(self, names, output: int) -> "ProtocolBuilder":
+        """Declare several states sharing one output value."""
+        for name in names:
+            self.state(name, output)
+        return self
+
+    def rule(self, p: State, q: State, p2: State, q2: State) -> "ProtocolBuilder":
+        """Add the transition ``p, q -> p2, q2``."""
+        for s in (p, q, p2, q2):
+            if s not in self._states:
+                raise ProtocolError(f"rule uses undeclared state {s!r}")
+        self._transitions.append(Transition(p, q, p2, q2))
+        return self
+
+    def input(self, variable: Hashable, state: State) -> "ProtocolBuilder":
+        """Map an input variable to its initial state."""
+        if state not in self._states:
+            raise ProtocolError(f"input maps to undeclared state {state!r}")
+        self._inputs[variable] = state
+        return self
+
+    def leader(self, state: State, count: int = 1) -> "ProtocolBuilder":
+        """Add ``count`` leader agents in ``state``."""
+        if state not in self._states:
+            raise ProtocolError(f"leader in undeclared state {state!r}")
+        self._leaders[state] = self._leaders.get(state, 0) + count
+        return self
+
+    def build(self, complete: bool = False) -> PopulationProtocol:
+        """Produce the protocol; ``complete=True`` adds identity rules."""
+        protocol = PopulationProtocol(
+            states=tuple(self._states),
+            transitions=tuple(self._transitions),
+            leaders=Multiset(self._leaders),
+            input_mapping=self._inputs,
+            output=dict(self._states),
+            name=self._name,
+        )
+        return protocol.completed() if complete else protocol

@@ -1,0 +1,66 @@
+"""Derived threshold predicates: intervals, exact counts, strict bounds.
+
+Convenience constructions assembled from the verified threshold family
+and the boolean combinators — the `Presburger closure` in action:
+
+* :func:`interval_protocol` — ``low <= x <= high``;
+* :func:`exact_protocol` — ``x = k``;
+* :func:`upper_bound_protocol` — ``x <= high`` (negated threshold).
+
+These keep the `O(log)` state complexity of their components (times the
+product blow-up), and every returned protocol carries its predicate via
+:func:`interval_predicate` et al. for direct verification.
+"""
+
+from __future__ import annotations
+
+from ..core.predicates import And, Not, Predicate, counting
+from ..core.protocol import PopulationProtocol
+from .combinators import conjunction, negation
+from .threshold_binary import binary_threshold
+
+__all__ = [
+    "interval_protocol",
+    "interval_predicate",
+    "exact_protocol",
+    "exact_predicate",
+    "upper_bound_protocol",
+    "upper_bound_predicate",
+]
+
+
+def upper_bound_protocol(high: int, variable: str = "x") -> PopulationProtocol:
+    """A protocol for ``x <= high`` (the negation of ``x >= high + 1``)."""
+    if high < 0:
+        raise ValueError(f"upper bound must be >= 0, got {high}")
+    protocol = negation(binary_threshold(high + 1, variable))
+    return protocol.renamed({}, name=f"upper_bound(x <= {high})")
+
+
+def upper_bound_predicate(high: int, variable: str = "x") -> Predicate:
+    """The predicate ``x <= high``."""
+    return Not(counting(high + 1, variable))
+
+
+def interval_protocol(low: int, high: int, variable: str = "x") -> PopulationProtocol:
+    """A protocol for ``low <= x <= high`` via the product construction."""
+    if not 1 <= low <= high:
+        raise ValueError(f"need 1 <= low <= high, got [{low}, {high}]")
+    protocol = conjunction(binary_threshold(low, variable), upper_bound_protocol(high, variable))
+    return protocol.renamed({}, name=f"interval({low} <= x <= {high})")
+
+
+def interval_predicate(low: int, high: int, variable: str = "x") -> Predicate:
+    """The predicate ``low <= x <= high``."""
+    return And(counting(low, variable), upper_bound_predicate(high, variable))
+
+
+def exact_protocol(k: int, variable: str = "x") -> PopulationProtocol:
+    """A protocol for ``x = k`` (the width-zero interval)."""
+    protocol = interval_protocol(k, k, variable)
+    return protocol.renamed({}, name=f"exact(x = {k})")
+
+
+def exact_predicate(k: int, variable: str = "x") -> Predicate:
+    """The predicate ``x = k``."""
+    return interval_predicate(k, k, variable)

@@ -1,0 +1,78 @@
+"""Leader election: the pairwise-elimination protocol.
+
+Not a predicate protocol — leader election is the other foundational
+population-protocol task (and the subject of the time/space trade-off
+literature the paper's introduction surveys [2, 3, 4, 17, 20]).  The
+classic protocol is two states:
+
+    ``L, L -> L, F``        (two leaders meet: one survives)
+    ``L, F -> L, F``        (a leader ignores followers)
+    ``F, F -> F, F``
+
+Starting from all-``L``, the number of leaders is non-increasing and
+strictly decreases whenever two leaders meet; fairness drives it to
+exactly one.  Expected convergence is ``Theta(n)`` parallel time — the
+coupon-collector-free but quadratic-in-pair-probability regime, which
+:func:`repro.simulation.convergence.measure_convergence` exhibits and
+the tests assert.
+
+The protocol *stably computes* the constant-true predicate (every
+state outputs 1), so it also slots into the predicate machinery; its
+interesting invariant — exactly one leader in every terminal
+configuration — is checked exactly via the reachability graph in
+:func:`unique_leader_certified`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.multiset import Multiset
+from ..core.protocol import PopulationProtocol, Transition
+from ..reachability.graph import ReachabilityGraph
+
+__all__ = ["leader_election", "unique_leader_certified"]
+
+
+def leader_election(variable: str = "x") -> PopulationProtocol:
+    """The 2-state pairwise-elimination leader election protocol."""
+    return PopulationProtocol(
+        states=("L", "F"),
+        transitions=(Transition("L", "L", "L", "F"),),
+        leaders=Multiset(),
+        input_mapping={variable: "L"},
+        output={"L": 1, "F": 1},
+        name="leader_election (2 states)",
+    )
+
+
+def unique_leader_certified(
+    protocol: PopulationProtocol,
+    population: int,
+    node_budget: int = 2_000_000,
+) -> bool:
+    """Exactly verify the election property for a population size.
+
+    Checks, over the full reachability graph from ``IC(population)``:
+
+    * every reachable configuration has at least one leader;
+    * every *terminal* configuration (no non-silent transition) has
+      exactly one;
+    * every configuration can still reach a terminal one (progress).
+    """
+    indexed = protocol.indexed()
+    leader_index = indexed.index["L"]
+    root = indexed.initial_counts(population)
+    graph = ReachabilityGraph.from_roots(protocol, [root], node_budget=node_budget)
+
+    terminals = [node for node in graph.nodes if not graph.successors_of(node)]
+    if not terminals:
+        return False
+    for node in graph.nodes:
+        if node[leader_index] < 1:
+            return False
+    for node in terminals:
+        if node[leader_index] != 1:
+            return False
+    reach_terminal = graph.backward_closure(terminals)
+    return reach_terminal == graph.nodes

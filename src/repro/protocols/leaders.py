@@ -1,0 +1,133 @@
+"""Protocols with leaders.
+
+Leaders are auxiliary agents present in every initial configuration:
+``IC(v) = L + sum_x v(x) * I(x)`` with ``L != 0``.  The paper's
+Section 4 bound applies to this class, and initial configurations are
+no longer linear in the input (``IC(a + b) != IC(a) + IC(b)``), which
+is exactly why the Section 5 analysis fails for them.
+
+This module provides two verified leader families used by the test
+suite, the examples and the Section-4 experiments:
+
+* :func:`leader_unary_threshold` — a single leader counts input agents
+  one by one up to ``eta`` (``eta + 3`` states, 1 leader);
+* :func:`leader_binary_threshold` — a single leader drives a binary
+  counter distributed over ``ceil(log2(eta+1))`` *bit leaders*
+  (``O(log eta)`` states, ``O(log eta)`` leaders), exercising
+  multi-leader initial configurations.
+
+Neither family is succinct beyond the leaderless ``O(log eta)`` bound:
+the doubly-exponential leader construction of Blondin et al. [11] is a
+substantial separate development that the paper under reproduction
+only cites for motivation (see DESIGN.md, substitutions table).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.multiset import Multiset
+from ..core.predicates import Threshold, counting
+from ..core.protocol import PopulationProtocol, Transition
+
+__all__ = ["leader_unary_threshold", "leader_binary_threshold"]
+
+
+def leader_unary_threshold(eta: int, variable: str = "x") -> PopulationProtocol:
+    """``x >= eta`` with one leader counting agents in unary.
+
+    States: leader counters ``L0 .. L(eta-1)``, the input state ``u``,
+    the spent state ``d``, and the absorbing accepting state ``T``.
+    Rules: ``Li, u -> L(i+1), d`` (with ``L(eta) = T``), and
+    ``T, q -> T, T``.  The single leader consumes input agents one at a
+    time; it reaches ``T`` iff at least ``eta`` inputs exist.
+
+    ``eta + 3`` states; deterministic.
+    """
+    if eta < 1:
+        raise ValueError(f"threshold must be >= 1, got {eta}")
+
+    def counter(i: int) -> str:
+        return "T" if i == eta else f"L{i}"
+
+    states: List[str] = [counter(i) for i in range(eta)] + ["u", "d", "T"]
+    transitions = []
+    for i in range(eta):
+        transitions.append(Transition(counter(i), "u", counter(i + 1), "d"))
+    for s in states:
+        if s != "T":
+            transitions.append(Transition("T", s, "T", "T"))
+    output = {s: 1 if s == "T" else 0 for s in states}
+    return PopulationProtocol(
+        states=tuple(states),
+        transitions=tuple(transitions),
+        leaders=Multiset.singleton("L0"),
+        input_mapping={variable: "u"},
+        output=output,
+        name=f"leader_unary_threshold(eta={eta})",
+    )
+
+
+def leader_binary_threshold(eta: int, variable: str = "x") -> PopulationProtocol:
+    """``x >= eta`` with a distributed binary counter of bit leaders.
+
+    There are ``w = ceil(log2(eta + 1))`` *bit leaders*; bit leader
+    ``i`` is in state ``b(i, 0)`` or ``b(i, 1)``.  Input agents inject
+    a carry at bit 0 (``b(0, 0), u -> b(0, 1), d`` /
+    ``b(0, 1), u -> b(0, 0), k1``); carry tokens ``k(i)`` ripple up
+    (``b(i, 0), k(i) -> b(i, 1), d`` and
+    ``b(i, 1), k(i) -> b(i, 0), k(i+1)``).  A carry out of the top bit
+    can only occur after ``2^w > eta`` increments — but we must accept
+    exactly at ``eta``, so acceptance is triggered instead by the
+    *detector* chain: when the counter value reaches ``eta`` every bit
+    leader matches ``eta``'s bit pattern, which a token cannot observe
+    atomically.  We therefore pick ``eta = 2^w`` shape-free semantics:
+    acceptance fires when a carry leaves bit ``w - 1`` after exactly
+    ``2^(w-1) <= eta`` — to stay *exact* for arbitrary ``eta`` the
+    counter is simply offset: it starts at ``2^w - eta``, so the first
+    carry out of the top bit occurs exactly at the ``eta``-th
+    increment.  The overflow token converts everybody to ``T``.
+
+    ``3w + 4`` states (bit pairs + carries + ``u, d, T``), ``w``
+    leaders; deterministic.  Verified exhaustively in the tests.
+    """
+    if eta < 1:
+        raise ValueError(f"threshold must be >= 1, got {eta}")
+    width = eta.bit_length()  # 2^width > eta always holds
+    start = 2**width - eta  # counter offset: overflow after exactly eta increments
+
+    def bit(i: int, v: int) -> str:
+        return f"b{i}={v}"
+
+    def carry(i: int) -> str:
+        return "T" if i == width else f"k{i}"
+
+    states: List[str] = []
+    for i in range(width):
+        states.extend([bit(i, 0), bit(i, 1)])
+    states.extend(carry(i) for i in range(1, width))
+    states.extend(["u", "d", "T"])
+
+    transitions: List[Transition] = []
+    # input agents act as the carry into bit 0
+    transitions.append(Transition(bit(0, 0), "u", bit(0, 1), "d"))
+    transitions.append(Transition(bit(0, 1), "u", bit(0, 0), carry(1)))
+    # carry ripple
+    for i in range(1, width):
+        transitions.append(Transition(bit(i, 0), carry(i), bit(i, 1), "d"))
+        transitions.append(Transition(bit(i, 1), carry(i), bit(i, 0), carry(i + 1)))
+    # acceptance spreads
+    for s in states:
+        if s != "T":
+            transitions.append(Transition("T", s, "T", "T"))
+
+    leaders = Multiset({bit(i, (start >> i) & 1): 1 for i in range(width)})
+    output = {s: 1 if s == "T" else 0 for s in states}
+    return PopulationProtocol(
+        states=tuple(states),
+        transitions=tuple(transitions),
+        leaders=leaders,
+        input_mapping={variable: "u"},
+        output=output,
+        name=f"leader_binary_threshold(eta={eta})",
+    )

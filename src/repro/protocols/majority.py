@@ -1,0 +1,53 @@
+"""The classic 4-state majority protocol.
+
+Decides the predicate ``x > y``: are there strictly more agents with
+initial opinion ``x`` than with initial opinion ``y``?  This is the
+motivating example from the paper's introduction (where the *fast*
+protocols of [7] need tens of thousands of states — the 4-state
+protocol here is slow but minimal).
+
+States: ``A`` / ``B`` are *active* supporters of x / y; ``a`` / ``b``
+are *passive* followers.  Rules:
+
+* ``A, B -> a, b``  — opposite actives annihilate;
+* ``A, b -> A, a``  — an active converts opposing followers;
+* ``B, a -> B, b``;
+* ``a, b -> b, b``  — follower ties break towards ``b`` (so the tie
+  case ``x = y``, where all actives annihilate, converges to the
+  correct answer "no strict majority of x").
+
+Outputs: ``O(A) = O(a) = 1`` and ``O(B) = O(b) = 0``.
+"""
+
+from __future__ import annotations
+
+from ..core.multiset import Multiset
+from ..core.predicates import Threshold, majority as majority_predicate
+from ..core.protocol import PopulationProtocol, Transition
+
+__all__ = ["majority_protocol", "majority_predicate"]
+
+
+def majority_protocol(x: str = "x", y: str = "y") -> PopulationProtocol:
+    """The 4-state protocol deciding ``x > y``.
+
+    Parameters
+    ----------
+    x, y:
+        Names of the two input variables (mapped to the active states
+        ``A`` and ``B`` respectively).
+    """
+    transitions = (
+        Transition("A", "B", "a", "b"),
+        Transition("A", "b", "A", "a"),
+        Transition("B", "a", "B", "b"),
+        Transition("a", "b", "b", "b"),
+    )
+    return PopulationProtocol(
+        states=("A", "B", "a", "b"),
+        transitions=transitions,
+        leaders=Multiset(),
+        input_mapping={x: "A", y: "B"},
+        output={"A": 1, "a": 1, "B": 0, "b": 0},
+        name="majority (4 states)",
+    )

@@ -1,0 +1,90 @@
+"""Modulo (remainder) protocols: ``sum_i a_i * x_i = r (mod m)``.
+
+Together with thresholds, modulo predicates generate all Presburger
+predicates under boolean combinations (Section 2.3 of the paper points
+at this normal form).  The construction is the standard accumulator
+protocol:
+
+* an *active* agent holds a partial sum ``v`` modulo ``m``;
+* two actives merge: one keeps the sum ``(u + v) mod m``, the other
+  becomes a *passive* follower remembering the merger's verdict;
+* an active meeting a passive updates the passive's belief to the
+  active's current verdict.
+
+Exactly one active survives under fairness, holding the full sum
+``sum_i a_i x_i mod m``, and it eventually overwrites every passive's
+belief with the true verdict.  States: ``m`` actives + 2 passives.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..core.multiset import Multiset
+from ..core.predicates import Modulo
+from ..core.protocol import PopulationProtocol, Transition
+
+__all__ = ["modulo_protocol", "modulo_predicate"]
+
+
+def modulo_protocol(
+    coefficients: Mapping[str, int],
+    remainder: int,
+    modulus: int,
+) -> PopulationProtocol:
+    """A protocol deciding ``sum_i a_i * x_i = r (mod m)``.
+
+    Parameters
+    ----------
+    coefficients:
+        Maps each input variable to its coefficient ``a_i``.
+    remainder:
+        The target remainder ``r`` (reduced modulo ``m``).
+    modulus:
+        The modulus ``m >= 1``.
+
+    Returns a protocol with ``m + 2`` states (``m = 1`` yields the
+    always-true predicate with 3 states).
+    """
+    if modulus < 1:
+        raise ValueError(f"modulus must be >= 1, got {modulus}")
+    remainder %= modulus
+
+    def active(v: int) -> str:
+        return f"s{v}"
+
+    def passive(b: int) -> str:
+        return f"p{b}"
+
+    def verdict(v: int) -> int:
+        return 1 if v == remainder else 0
+
+    states = tuple(active(v) for v in range(modulus)) + (passive(0), passive(1))
+    transitions = []
+    for u in range(modulus):
+        for v in range(u, modulus):
+            total = (u + v) % modulus
+            transitions.append(Transition(active(u), active(v), active(total), passive(verdict(total))))
+        for b in (0, 1):
+            if verdict(u) != b:
+                transitions.append(Transition(active(u), passive(b), active(u), passive(verdict(u))))
+    output = {active(v): verdict(v) for v in range(modulus)}
+    output[passive(0)] = 0
+    output[passive(1)] = 1
+    return PopulationProtocol(
+        states=states,
+        transitions=tuple(transitions),
+        leaders=Multiset(),
+        input_mapping={var: active(coeff % modulus) for var, coeff in coefficients.items()},
+        output=output,
+        name=f"modulo({dict(coefficients)} = {remainder} mod {modulus})",
+    )
+
+
+def modulo_predicate(
+    coefficients: Mapping[str, int],
+    remainder: int,
+    modulus: int,
+) -> Modulo:
+    """The predicate :func:`modulo_protocol` computes."""
+    return Modulo(coefficients, remainder, modulus)

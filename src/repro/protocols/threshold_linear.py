@@ -1,0 +1,136 @@
+"""General linear threshold protocols: ``sum_i a_i * x_i >= c``.
+
+The classical construction of Angluin et al. [6, 8] showing that all
+threshold predicates (arbitrary integer coefficients, several
+variables) are stably computable — the second generator, next to
+modulo, of the full Presburger class.
+
+Construction.  Let ``s = max(|c|, max_i |a_i|, 1)``.  Each agent holds
+a value in ``[-s, s]`` and a *role*:
+
+* **collector** (``L``): initially everybody, holding its input's
+  coefficient.  Two collectors merge: one keeps
+  ``q = clamp(u + v, -s, s)``, the other becomes a follower carrying
+  the remainder ``r = u + v - q`` and the verdict bit ``[q >= c]``;
+* **follower** (``F``): carries a residual value (usually 0) and a
+  verdict bit.  A collector meeting a follower absorbs the follower's
+  residual the same way and refreshes its bit; two followers do not
+  interact.
+
+The number of collectors only ever shrinks (collector+collector
+produces one collector) and never reaches zero, so under fairness a
+single collector survives, drains every follower residual it can, and
+ends holding ``clamp(T)`` where ``T = sum_i a_i x_i`` — except for
+saturation leftovers, which are provably on the same side of the
+threshold.  The surviving collector then corrects every follower's
+bit, yielding the stable consensus ``[T >= c]``.
+
+Keeping an explicit collector role (rather than inferring it from a
+non-zero value) is what makes the ``T = 0`` boundary correct: a
+value-based scheme strands stale followers when the last two valued
+agents cancel, and the exhaustive verifier readily exhibits the bug —
+see ``tests/test_threshold_linear.py`` for the regression capturing
+this design note.
+
+States: ``2s + 1`` collector values + ``2 (2s + 1)`` follower
+(value, bit) pairs = ``3(2s + 1)`` states.  The protocol is
+deterministic; unreachable states can be dropped with
+``protocol.restricted_to_coverable()``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+from ..core.multiset import Multiset
+from ..core.predicates import Threshold
+from ..core.protocol import PopulationProtocol, Transition
+
+__all__ = ["linear_threshold", "linear_threshold_predicate"]
+
+
+def _collector(v: int) -> str:
+    return f"L{v:+d}"
+
+
+def _follower(v: int, b: int) -> str:
+    return f"F{v:+d}/{b}"
+
+
+def linear_threshold(
+    coefficients: Mapping[str, int],
+    constant: int,
+    saturation: int = None,
+) -> PopulationProtocol:
+    """A protocol deciding ``sum_i a_i * x_i >= c``.
+
+    Parameters
+    ----------
+    coefficients:
+        Maps input variables to integer coefficients (may be negative
+        or zero; majority is ``{"x": 1, "y": -1}`` with ``c = 1``).
+    constant:
+        The threshold ``c``.
+    saturation:
+        Override for the clamp ``s`` (must be at least
+        ``max(|c|, max |a_i|, 1)``); mostly for tests.
+    """
+    if not coefficients:
+        raise ValueError("need at least one input variable")
+    s = max(abs(constant), max(abs(a) for a in coefficients.values()), 1)
+    if saturation is not None:
+        if saturation < s:
+            raise ValueError(f"saturation must be >= {s}, got {saturation}")
+        s = saturation
+
+    def clamp(value: int) -> int:
+        return max(-s, min(s, value))
+
+    def verdict(value: int) -> int:
+        return 1 if value >= constant else 0
+
+    values = range(-s, s + 1)
+    states: List[str] = [_collector(v) for v in values]
+    states += [_follower(v, b) for v in values for b in (0, 1)]
+
+    transitions: List[Transition] = []
+    for u in values:
+        for v in values:
+            if u > v:
+                continue
+            # collector meets collector: merge, loser becomes follower
+            q = clamp(u + v)
+            r = u + v - q
+            b = verdict(q)
+            transitions.append(Transition(_collector(u), _collector(v), _collector(q), _follower(r, b)))
+        # collector meets follower: absorb residual, refresh bit
+        for v in values:
+            for fb in (0, 1):
+                q = clamp(u + v)
+                r = u + v - q
+                b = verdict(q)
+                transitions.append(
+                    Transition(_collector(u), _follower(v, fb), _collector(q), _follower(r, b))
+                )
+    # followers never interact (identity; left implicit / completed())
+
+    output: Dict[str, int] = {}
+    for v in values:
+        output[_collector(v)] = verdict(v)
+        for b in (0, 1):
+            output[_follower(v, b)] = b
+
+    name_terms = ", ".join(f"{a}*{x}" for x, a in sorted(coefficients.items()))
+    return PopulationProtocol(
+        states=tuple(states),
+        transitions=tuple(transitions),
+        leaders=Multiset(),
+        input_mapping={x: _collector(clamp(a)) for x, a in coefficients.items()},
+        output=output,
+        name=f"linear_threshold({name_terms} >= {constant})",
+    )
+
+
+def linear_threshold_predicate(coefficients: Mapping[str, int], constant: int) -> Threshold:
+    """The predicate :func:`linear_threshold` computes."""
+    return Threshold(dict(coefficients), constant)

@@ -1,0 +1,49 @@
+"""Reachability substrates: exact graphs, coverability, pseudo-reachability."""
+
+from .coverability import (
+    OMEGA,
+    KarpMillerTree,
+    backward_coverability_basis,
+    is_coverable_from,
+    karp_miller,
+    minimal_coverers,
+)
+from .graph import ReachabilityGraph, count_configurations, enumerate_configurations
+from .state_equation import (
+    refute_reachability,
+    state_equation_solutions,
+    state_equation_solvable,
+    t_invariants,
+)
+from .pseudo import (
+    RealisableBasisElement,
+    input_state,
+    is_potentially_realisable,
+    minimal_input_for,
+    realisability_matrix,
+    realisable_basis,
+    witness_configuration,
+)
+
+__all__ = [
+    "ReachabilityGraph",
+    "enumerate_configurations",
+    "count_configurations",
+    "OMEGA",
+    "KarpMillerTree",
+    "karp_miller",
+    "is_coverable_from",
+    "backward_coverability_basis",
+    "minimal_coverers",
+    "input_state",
+    "realisability_matrix",
+    "is_potentially_realisable",
+    "minimal_input_for",
+    "witness_configuration",
+    "realisable_basis",
+    "RealisableBasisElement",
+    "state_equation_solutions",
+    "state_equation_solvable",
+    "refute_reachability",
+    "t_invariants",
+]

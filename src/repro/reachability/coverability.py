@@ -1,0 +1,239 @@
+"""Coverability: Karp–Miller trees and backward analysis.
+
+A population protocol is a Petri net with one place per state and, for
+each transition ``p, q -> p', q'``, a net transition consuming
+``<p, q>`` and producing ``<p', q'>``.  Questions of the form "can a
+configuration covering ``m`` be reached?" are *coverability* questions,
+for which two classical complete procedures exist:
+
+* the **Karp–Miller tree** with omega-acceleration, which computes the
+  downward closure of the reachability set of a single initial
+  configuration (here: of a single initial *family*, since initial
+  configurations are parameterised by the input); and
+* **backward coverability**, which saturates the upward-closed set of
+  configurations that can cover a target, represented by its finite
+  set of minimal elements.
+
+The paper uses coverability through Rackoff's theorem (in the proof of
+Lemma 3.2): if some configuration covering a state ``q`` is reachable
+from ``C'``, then one is reachable by a sequence of length at most
+``2^(2(2n+1)!)``.  The procedures here make such covering sequences
+constructive on concrete protocols; the astronomically larger Rackoff
+*bound* itself lives in :mod:`repro.bounds.constants`.
+
+Omega entries are represented by ``math.inf``; extended configurations
+are tuples mixing ints and ``inf``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from ..core.errors import SearchBudgetExceeded
+from ..core.multiset import Multiset
+from ..core.protocol import IndexedProtocol, PopulationProtocol
+
+__all__ = [
+    "OMEGA",
+    "KarpMillerTree",
+    "karp_miller",
+    "is_coverable_from",
+    "backward_coverability_basis",
+    "minimal_coverers",
+]
+
+OMEGA = math.inf
+"""The omega symbol of Karp–Miller trees ("unboundedly many agents")."""
+
+ExtendedConfig = Tuple[Union[int, float], ...]
+
+DEFAULT_NODE_BUDGET = 200_000
+
+
+def _leq(a: ExtendedConfig, b: ExtendedConfig) -> bool:
+    return all(x <= y for x, y in zip(a, b))
+
+
+def _transition_pre(indexed: IndexedProtocol, t_index: int) -> Tuple[int, ...]:
+    pre = [0] * indexed.n
+    i, j = indexed.pre_pairs[t_index]
+    pre[i] += 1
+    pre[j] += 1
+    return tuple(pre)
+
+
+class KarpMillerTree:
+    """The result of a Karp–Miller construction.
+
+    Attributes
+    ----------
+    limits:
+        The set of maximal extended configurations discovered.  Their
+        downward closure equals the downward closure of the reachable
+        set (restricted to the explored roots).
+    nodes:
+        Every extended configuration created during the construction.
+    """
+
+    def __init__(self, indexed: IndexedProtocol, limits: Set[ExtendedConfig], nodes: Set[ExtendedConfig]):
+        self.indexed = indexed
+        self.limits = limits
+        self.nodes = nodes
+
+    def covers(self, target: Sequence[int]) -> bool:
+        """Is some reachable configuration >= ``target`` (coverability)?"""
+        target_t = tuple(target)
+        return any(_leq(target_t, limit) for limit in self.limits)
+
+    def place_bounded(self, state_index: int) -> bool:
+        """Is the number of agents in the given state bounded?"""
+        return all(limit[state_index] != OMEGA for limit in self.limits)
+
+    def covers_multiset(self, target: Multiset) -> bool:
+        """Coverability query with a multiset target over protocol states."""
+        return self.covers(self.indexed.encode(target))
+
+
+def karp_miller(
+    protocol: PopulationProtocol,
+    roots: Iterable[Sequence[Union[int, float]]],
+    node_budget: int = DEFAULT_NODE_BUDGET,
+) -> KarpMillerTree:
+    """Build a Karp–Miller tree from the given roots.
+
+    Roots may already contain :data:`OMEGA` entries; passing
+    ``(OMEGA, 0, ..., 0)`` with omega on the input state analyses the
+    protocol *for all inputs at once*, which is how the leaderless
+    analyses in this package use it.
+
+    Raises :class:`SearchBudgetExceeded` when more than ``node_budget``
+    tree nodes are created.
+    """
+    indexed = protocol.indexed() if isinstance(protocol, PopulationProtocol) else protocol
+    pres = [_transition_pre(indexed, k) for k in range(len(indexed.deltas))]
+
+    nodes: Set[ExtendedConfig] = set()
+    # Classic Karp-Miller tree: a branch stops when its configuration
+    # *repeats* an ancestor; acceleration compares only against
+    # ancestors of the same branch.  (Pruning against arbitrary
+    # previously-seen nodes is the well-known unsoundness of naive
+    # "minimal coverability set" algorithms, and is deliberately
+    # avoided here.)
+    stack: List[Tuple[ExtendedConfig, Tuple[ExtendedConfig, ...]]] = []
+    for root in roots:
+        root_t: ExtendedConfig = tuple(root)
+        stack.append((root_t, ()))
+        nodes.add(root_t)
+
+    def accelerate(config: ExtendedConfig, ancestors: Tuple[ExtendedConfig, ...]) -> ExtendedConfig:
+        accelerated = list(config)
+        for ancestor in ancestors:
+            if _leq(ancestor, config) and ancestor != config:
+                for idx in range(len(accelerated)):
+                    if ancestor[idx] < config[idx]:
+                        accelerated[idx] = OMEGA
+        return tuple(accelerated)
+
+    while stack:
+        config, ancestors = stack.pop()
+        if config in ancestors:
+            continue  # branch terminates: configuration repeated
+        chain = ancestors + (config,)
+        for k in indexed.non_silent:
+            pre = pres[k]
+            if not _leq(pre, config):
+                continue
+            delta = indexed.deltas[k]
+            successor = tuple(
+                c if c == OMEGA else c + d for c, d in zip(config, delta)
+            )
+            successor = accelerate(successor, chain)
+            nodes.add(successor)
+            if len(nodes) > node_budget:
+                raise SearchBudgetExceeded(f"Karp-Miller construction exceeded {node_budget} nodes")
+            stack.append((successor, chain))
+
+    limits: Set[ExtendedConfig] = set()
+    for candidate in nodes:
+        if not any(_leq(candidate, other) and candidate != other for other in nodes):
+            limits.add(candidate)
+    return KarpMillerTree(indexed, limits, nodes)
+
+
+def is_coverable_from(
+    protocol: PopulationProtocol,
+    root: Sequence[Union[int, float]],
+    target: Sequence[int],
+    node_budget: int = DEFAULT_NODE_BUDGET,
+) -> bool:
+    """Coverability query: can ``root`` reach some ``C >= target``?"""
+    tree = karp_miller(protocol, [root], node_budget=node_budget)
+    return tree.covers(target)
+
+
+def _minimise(vectors: Iterable[Tuple[int, ...]]) -> List[Tuple[int, ...]]:
+    """Keep only the <=-minimal vectors of a finite collection."""
+    vecs = list(dict.fromkeys(vectors))
+    minimal: List[Tuple[int, ...]] = []
+    for v in vecs:
+        if any(_leq(m, v) and m != v for m in vecs):
+            continue
+        minimal.append(v)
+    return minimal
+
+
+def backward_coverability_basis(
+    protocol: PopulationProtocol,
+    target: Sequence[int],
+    iteration_budget: int = 10_000,
+) -> List[Tuple[int, ...]]:
+    """Minimal basis of ``{C : C can reach some C' >= target}``.
+
+    Classic backward coverability: starting from the upward closure of
+    ``target``, repeatedly add the minimal predecessors
+    ``max(pre_t, m - Delta_t)`` for each transition ``t`` until the
+    basis stabilises.  Termination is guaranteed by Dickson's lemma;
+    the ``iteration_budget`` guards against pathological blow-up.
+
+    Returns the minimal elements of the final upward-closed set.
+    """
+    indexed = protocol.indexed() if isinstance(protocol, PopulationProtocol) else protocol
+    pres = [_transition_pre(indexed, k) for k in range(len(indexed.deltas))]
+
+    basis: List[Tuple[int, ...]] = _minimise([tuple(int(x) for x in target)])
+    for _ in range(iteration_budget):
+        new_elements: List[Tuple[int, ...]] = []
+        for m in basis:
+            for k in indexed.non_silent:
+                delta = indexed.deltas[k]
+                pre = pres[k]
+                candidate = tuple(max(p, x - d) for p, x, d in zip(pre, m, delta))
+                if not any(_leq(b, candidate) for b in basis):
+                    new_elements.append(candidate)
+        if not new_elements:
+            return basis
+        basis = _minimise(basis + new_elements)
+    raise SearchBudgetExceeded(
+        f"backward coverability did not stabilise within {iteration_budget} rounds"
+    )
+
+
+def minimal_coverers(
+    protocol: PopulationProtocol,
+    state: object,
+    iteration_budget: int = 10_000,
+) -> List[Multiset]:
+    """Minimal configurations from which the given *state* can be covered.
+
+    Convenience wrapper around :func:`backward_coverability_basis` with
+    the unit target on ``state``, decoded back to multisets.  Used to
+    answer "which populations can ever produce an agent in ``q``?" —
+    the covering question at the heart of Lemma 3.2's proof.
+    """
+    indexed = protocol.indexed()
+    target = [0] * indexed.n
+    target[indexed.index[state]] = 1
+    basis = backward_coverability_basis(protocol, target, iteration_budget)
+    return [indexed.decode(b) for b in basis]

@@ -1,0 +1,135 @@
+"""The state equation: Parikh-level reachability analysis.
+
+For a firing sequence ``C --sigma--> C'`` the Parikh image ``pi`` of
+``sigma`` satisfies the *state equation* ``C + Delta . pi = C'``
+(Lemma 5.1(i) in multiset form).  Solvability of the state equation
+over the naturals is therefore a *necessary* condition for
+reachability — the classical marking-equation test from Petri net
+theory, decidable via the Hilbert-basis machinery of
+:mod:`repro.diophantine`:
+
+* :func:`state_equation_solutions` — minimal Parikh candidates ``pi``
+  with ``Delta . pi = C' - C``, plus the homogeneous basis (the
+  "T-invariants", firing count vectors with zero net effect);
+* :func:`state_equation_solvable` — the yes/no necessary condition;
+* :func:`refute_reachability` — a best-effort *disproof* of
+  ``C ->* C'``: population mismatch, a separating linear invariant
+  (:mod:`repro.analysis.invariants`), or state-equation infeasibility.
+
+A ``None`` from :func:`refute_reachability` does **not** imply
+reachability (the state equation ignores intermediate non-negativity);
+exact answers for fixed populations come from
+:class:`repro.reachability.graph.ReachabilityGraph`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.multiset import Multiset
+from ..core.protocol import PopulationProtocol, Transition
+from ..diophantine.pottier import solve_equalities_inhomogeneous
+
+__all__ = [
+    "state_equation_solutions",
+    "state_equation_solvable",
+    "refute_reachability",
+    "t_invariants",
+]
+
+
+def _displacement_matrix(protocol: PopulationProtocol) -> Tuple[List[List[int]], Tuple[Transition, ...]]:
+    transitions = protocol.transitions
+    matrix = [
+        [t.displacement[q] for t in transitions]
+        for q in protocol.states
+    ]
+    return matrix, transitions
+
+
+def state_equation_solutions(
+    protocol: PopulationProtocol,
+    source: Multiset,
+    target: Multiset,
+    frontier_budget: int = 2_000_000,
+) -> Tuple[List[Multiset], List[Multiset]]:
+    """Minimal Parikh solutions of ``Delta . pi = target - source``.
+
+    Returns ``(minimal, homogeneous)`` as multisets of transitions; the
+    full solution set is ``minimal + N-combinations of homogeneous``.
+    An empty ``minimal`` list *refutes* reachability.
+    """
+    matrix, transitions = _displacement_matrix(protocol)
+    rhs = [(target - source)[q] for q in protocol.states]
+    particular, homogeneous = solve_equalities_inhomogeneous(
+        matrix, rhs, frontier_budget=frontier_budget
+    )
+
+    def to_multiset(vector) -> Multiset:
+        return Multiset({t: c for t, c in zip(transitions, vector) if c})
+
+    return [to_multiset(v) for v in particular], [to_multiset(v) for v in homogeneous]
+
+
+def state_equation_solvable(
+    protocol: PopulationProtocol,
+    source: Multiset,
+    target: Multiset,
+    frontier_budget: int = 2_000_000,
+) -> bool:
+    """Is the state equation solvable (necessary for ``source ->* target``)?"""
+    minimal, _ = state_equation_solutions(
+        protocol, source, target, frontier_budget=frontier_budget
+    )
+    return bool(minimal) or source == target
+
+
+def t_invariants(
+    protocol: PopulationProtocol,
+    frontier_budget: int = 2_000_000,
+) -> List[Multiset]:
+    """The minimal T-invariants: non-zero ``pi`` with ``Delta . pi = 0``.
+
+    Firing any realisable T-invariant returns to the same
+    configuration — these are the cycles of the configuration graph at
+    the Parikh level (silent transitions are one-element examples).
+    """
+    matrix, transitions = _displacement_matrix(protocol)
+    from ..diophantine.pottier import solve_equalities
+
+    basis = solve_equalities(matrix, frontier_budget=frontier_budget)
+    return [
+        Multiset({t: c for t, c in zip(transitions, vector) if c})
+        for vector in basis
+    ]
+
+
+def refute_reachability(
+    protocol: PopulationProtocol,
+    source: Multiset,
+    target: Multiset,
+    frontier_budget: int = 2_000_000,
+) -> Optional[str]:
+    """A human-readable disproof of ``source ->* target``, if found.
+
+    Checks, in increasing cost: population counts, separating linear
+    invariants, and state-equation feasibility.  ``None`` = no
+    obstruction found (reachability undecided at this level).
+    """
+    if source.size != target.size:
+        return (
+            f"population differs: |source| = {source.size}, |target| = {target.size} "
+            "(transitions conserve the number of agents)"
+        )
+    from ..analysis.invariants import conserved_value, explains_conservation
+
+    witness = explains_conservation(protocol, source, target)
+    if witness is not None:
+        pretty = {str(q): str(w) for q, w in witness.items() if w != 0}
+        return (
+            f"the linear invariant {pretty} separates them: "
+            f"{conserved_value(witness, source)} != {conserved_value(witness, target)}"
+        )
+    if not state_equation_solvable(protocol, source, target, frontier_budget=frontier_budget):
+        return "the state equation Delta.pi = target - source has no natural solution"
+    return None

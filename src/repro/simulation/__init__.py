@@ -1,0 +1,33 @@
+"""Stochastic simulation: exact schedulers, batched leaps, convergence stats."""
+
+from .ensembles import EnsembleResult, run_ensemble
+from .convergence import ConvergenceStats, convergence_scaling, fit_nlogn, measure_convergence
+from .fast import BatchScheduler
+from .faults import Fault, FaultyRunResult, corrupt, crash, run_with_faults
+from .scheduler import AgentListScheduler, CountScheduler, SimulationResult, StepOutcome
+from .statistics import TimeSeries, record_time_series
+from .trace import Trace, TraceEvent, record_trace
+
+__all__ = [
+    "AgentListScheduler",
+    "CountScheduler",
+    "BatchScheduler",
+    "SimulationResult",
+    "StepOutcome",
+    "ConvergenceStats",
+    "measure_convergence",
+    "convergence_scaling",
+    "fit_nlogn",
+    "Trace",
+    "TraceEvent",
+    "record_trace",
+    "TimeSeries",
+    "record_time_series",
+    "Fault",
+    "crash",
+    "corrupt",
+    "run_with_faults",
+    "FaultyRunResult",
+    "EnsembleResult",
+    "run_ensemble",
+]

@@ -1,0 +1,116 @@
+"""Convergence measurements: parallel time statistics.
+
+The paper's introduction recalls that every Presburger predicate is
+decidable in ``O(n log n)`` parallel time [6].  Experiment E9 measures
+this on the shipped protocols: repeated simulation runs, each stopped
+at silent consensus, produce parallel-time samples whose growth in the
+population size ``n`` is compared against ``c * log n``.
+
+Convergence here means *silent consensus* — no transition can change
+the configuration and all agents agree — which is a sufficient (and
+for the shipped protocols, the actual) form of stabilisation; it is
+detectable locally in O(|T|) per check, unlike b-stability which needs
+a reachability argument.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from ..core.protocol import PopulationProtocol
+from .scheduler import CountScheduler, SimulationResult
+
+__all__ = ["ConvergenceStats", "measure_convergence", "convergence_scaling", "fit_nlogn"]
+
+
+@dataclass(frozen=True)
+class ConvergenceStats:
+    """Parallel-time statistics over repeated runs of one input."""
+
+    population: int
+    trials: int
+    mean_parallel_time: float
+    stdev_parallel_time: float
+    max_parallel_time: float
+    all_converged: bool
+
+    @property
+    def per_log_n(self) -> float:
+        """``mean / log2(n)`` — flat when convergence is ``Theta(n log n)``."""
+        return self.mean_parallel_time / max(1.0, math.log2(self.population))
+
+
+def measure_convergence(
+    protocol: PopulationProtocol,
+    inputs,
+    trials: int = 10,
+    max_steps_factor: int = 2000,
+    seed: int = 0,
+) -> ConvergenceStats:
+    """Simulate ``trials`` runs to silent consensus; report parallel times.
+
+    ``max_steps_factor * n`` interactions bound each run; runs hitting
+    the bound are flagged via ``all_converged = False`` (their censored
+    time still enters the statistics).
+    """
+    times: List[float] = []
+    converged = True
+    population = 0
+    for trial in range(trials):
+        scheduler = CountScheduler(protocol, seed=seed + trial)
+        scheduler.reset(inputs)
+        population = scheduler.population
+        result = scheduler.run(inputs, max_steps=max_steps_factor * population)
+        times.append(result.parallel_time)
+        converged = converged and result.converged
+    return ConvergenceStats(
+        population=population,
+        trials=trials,
+        mean_parallel_time=statistics.fmean(times),
+        stdev_parallel_time=statistics.stdev(times) if len(times) > 1 else 0.0,
+        max_parallel_time=max(times),
+        all_converged=converged,
+    )
+
+
+def convergence_scaling(
+    protocol: PopulationProtocol,
+    input_for_size: Callable[[int], Union[int, dict]],
+    sizes: Sequence[int],
+    trials: int = 5,
+    seed: int = 0,
+) -> List[ConvergenceStats]:
+    """Measure convergence at several population sizes.
+
+    ``input_for_size(n)`` maps a target population size to the input
+    (e.g. ``lambda n: n`` for single-variable protocols or
+    ``lambda n: {"x": 2 * n // 3, "y": n // 3}`` for majority).
+    """
+    return [
+        measure_convergence(protocol, input_for_size(size), trials=trials, seed=seed)
+        for size in sizes
+    ]
+
+
+def fit_nlogn(stats: Sequence[ConvergenceStats]) -> Tuple[float, float]:
+    """Least-squares fit ``parallel_time ~ c * log2(n) + d``.
+
+    Returns ``(c, d)``.  Under the ``O(n log n)`` total-interaction
+    claim the parallel time is ``O(log n)``, so ``c`` is the empirical
+    constant of experiment E9.
+    """
+    xs = [math.log2(s.population) for s in stats]
+    ys = [s.mean_parallel_time for s in stats]
+    n = len(xs)
+    if n < 2:
+        raise ValueError("need at least two sizes to fit")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    c = sxy / sxx if sxx else 0.0
+    d = mean_y - c * mean_x
+    return c, d

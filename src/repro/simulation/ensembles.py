@@ -1,0 +1,120 @@
+"""Ensemble simulation: verdict probabilities over many seeded runs.
+
+For protocols whose convergence is slow (the 4-state majority on
+narrow margins) a single run within a step budget is uninformative;
+what one wants is the *distribution*: with what probability has the
+population reached the correct silent consensus by parallel time
+``t``?  Ensembles estimate exactly that:
+
+* :func:`run_ensemble` — ``trials`` independent seeded runs with a
+  common budget, tallied into a :class:`EnsembleResult`;
+* :class:`EnsembleResult` — convergence rate, verdict distribution,
+  parallel-time quantiles, and a Wilson confidence interval on the
+  probability of the expected verdict.
+
+Used by the examples for the majority margin study and by the tests
+as a statistical cross-check between simulators.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.protocol import PopulationProtocol
+from .scheduler import CountScheduler
+
+__all__ = ["EnsembleResult", "run_ensemble"]
+
+
+@dataclass(frozen=True)
+class EnsembleResult:
+    """Aggregated outcome of an ensemble of seeded runs."""
+
+    trials: int
+    converged: int
+    verdicts: Dict[Optional[int], int]
+    parallel_times: Tuple[float, ...]
+
+    @property
+    def convergence_rate(self) -> float:
+        """Fraction of runs reaching silent consensus within budget."""
+        return self.converged / self.trials if self.trials else 0.0
+
+    def verdict_probability(self, verdict: Optional[int]) -> float:
+        """Empirical probability of ending with the given verdict."""
+        return self.verdicts.get(verdict, 0) / self.trials if self.trials else 0.0
+
+    def wilson_interval(self, verdict: int, z: float = 1.96) -> Tuple[float, float]:
+        """Wilson score interval for ``P(final verdict = verdict)``."""
+        n = self.trials
+        if n == 0:
+            return (0.0, 1.0)
+        p = self.verdict_probability(verdict)
+        denominator = 1 + z * z / n
+        centre = (p + z * z / (2 * n)) / denominator
+        margin = (z / denominator) * math.sqrt(p * (1 - p) / n + z * z / (4 * n * n))
+        return (max(0.0, centre - margin), min(1.0, centre + margin))
+
+    def time_quantile(self, q: float) -> float:
+        """Parallel-time quantile over the *converged* runs."""
+        if not self.parallel_times:
+            return math.inf
+        ordered = sorted(self.parallel_times)
+        position = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+        return ordered[position]
+
+    def summary(self) -> str:
+        """One-paragraph digest for console output."""
+        lines = [
+            f"{self.trials} runs, {self.converged} converged "
+            f"({100 * self.convergence_rate:.0f}%)",
+        ]
+        for verdict in sorted(self.verdicts, key=str):
+            lines.append(
+                f"  verdict {verdict}: {self.verdicts[verdict]} runs "
+                f"({100 * self.verdict_probability(verdict):.0f}%)"
+            )
+        if self.parallel_times:
+            lines.append(
+                f"  parallel time (converged runs): median {self.time_quantile(0.5):.1f}, "
+                f"p90 {self.time_quantile(0.9):.1f}"
+            )
+        return "\n".join(lines)
+
+
+def run_ensemble(
+    protocol: PopulationProtocol,
+    inputs,
+    trials: int = 50,
+    max_parallel_time: float = 500.0,
+    seed: int = 0,
+) -> EnsembleResult:
+    """Run ``trials`` independent seeded simulations and aggregate.
+
+    Non-converged runs are tallied under their (possibly ``None``)
+    final-output verdict but excluded from the time quantiles.
+    """
+    if trials < 1:
+        raise ValueError(f"need at least one trial, got {trials}")
+    verdicts: Dict[Optional[int], int] = {}
+    times: List[float] = []
+    converged = 0
+    for trial in range(trials):
+        scheduler = CountScheduler(protocol, seed=seed + trial)
+        scheduler.reset(inputs)
+        budget = int(max_parallel_time * scheduler.population)
+        result = scheduler.run(inputs, max_steps=budget)
+        verdict = protocol.output_of(result.configuration)
+        verdicts[verdict] = verdicts.get(verdict, 0) + 1
+        if result.converged:
+            converged += 1
+            times.append(result.parallel_time)
+    return EnsembleResult(
+        trials=trials,
+        converged=converged,
+        verdicts=verdicts,
+        parallel_times=tuple(times),
+    )

@@ -1,0 +1,84 @@
+"""Hypothesis strategies for property-based testing of protocol code.
+
+Downstream users building on this library can property-test their own
+analyses with the same generators our suite uses::
+
+    from hypothesis import given
+    from repro.testing import protocols, configurations
+
+    @given(protocols(), configurations())
+    def test_my_analysis(protocol, config):
+        ...
+
+All strategies are importable without hypothesis installed only if
+never called (the import is deferred).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from .core.multiset import Multiset
+from .core.protocol import PopulationProtocol, Transition
+
+__all__ = ["protocols", "configurations", "inputs_for"]
+
+_DEFAULT_STATES: Tuple[str, ...] = ("s0", "s1", "s2", "s3")
+
+
+def protocols(max_states: int = 3, states: Sequence[str] = _DEFAULT_STATES):
+    """A strategy generating complete deterministic random protocols.
+
+    Single input variable ``x``; between 2 and ``max_states`` states.
+    """
+    import hypothesis.strategies as st
+
+    if not 2 <= max_states <= len(states):
+        raise ValueError(f"max_states must be in [2, {len(states)}]")
+
+    @st.composite
+    def build(draw):
+        n = draw(st.integers(2, max_states))
+        chosen = tuple(states[:n])
+        pairs = [(chosen[i], chosen[j]) for i in range(n) for j in range(i, n)]
+        transitions = []
+        for p, q in pairs:
+            p2 = draw(st.sampled_from(chosen))
+            q2 = draw(st.sampled_from(chosen))
+            transitions.append(Transition(p, q, p2, q2))
+        outputs = {s: draw(st.integers(0, 1)) for s in chosen}
+        input_state = draw(st.sampled_from(chosen))
+        return PopulationProtocol(
+            states=chosen,
+            transitions=tuple(transitions),
+            leaders=Multiset(),
+            input_mapping={"x": input_state},
+            output=outputs,
+            name="random",
+        )
+
+    return build()
+
+
+def configurations(states: Sequence[str] = _DEFAULT_STATES, max_size: int = 8):
+    """A strategy generating configurations (natural, size >= 2)."""
+    import hypothesis.strategies as st
+
+    return (
+        st.dictionaries(st.sampled_from(list(states)), st.integers(0, max_size), min_size=1)
+        .map(Multiset)
+        .filter(lambda m: m.size >= 2)
+    )
+
+
+def inputs_for(protocol: PopulationProtocol, max_size: int = 8):
+    """A strategy generating valid inputs for a given protocol."""
+    import hypothesis.strategies as st
+
+    variables = list(protocol.input_mapping)
+    minimum = max(0, 2 - protocol.leaders.size)
+    return (
+        st.dictionaries(st.sampled_from(variables), st.integers(0, max_size))
+        .map(Multiset)
+        .filter(lambda m: m.size >= minimum and m.size >= 1)
+    )

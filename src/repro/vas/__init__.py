@@ -1,0 +1,30 @@
+"""Petri nets / Vector Addition Systems: the general substrate."""
+
+from .analysis import is_p_invariant, marking_value, p_invariants, t_invariants
+from .model import NetTransition, PetriNet, from_protocol
+from .reachability import (
+    OMEGA,
+    CoverabilityTree,
+    is_bounded,
+    is_coverable,
+    karp_miller,
+    place_bounds,
+    reachable_markings,
+)
+
+__all__ = [
+    "NetTransition",
+    "PetriNet",
+    "from_protocol",
+    "OMEGA",
+    "CoverabilityTree",
+    "reachable_markings",
+    "karp_miller",
+    "is_coverable",
+    "is_bounded",
+    "place_bounds",
+    "p_invariants",
+    "is_p_invariant",
+    "t_invariants",
+    "marking_value",
+]

@@ -1,0 +1,163 @@
+"""Petri nets / Vector Addition Systems: the paper's ambient theory.
+
+Population protocols *are* Petri nets (a place per state, a net
+transition per protocol transition, tokens are agents), and the
+paper's toolbox — Rackoff coverability, Karp–Miller, the state
+equation, the hardness results of §4.1 [15, 16, 22, 23] — is Petri net
+theory.  This subpackage provides the general model, so the substrate
+results can be exercised beyond the conservative two-in/two-out
+special case:
+
+* :class:`NetTransition` — arbitrary pre/post multisets over places
+  (arity free; token count need not be conserved);
+* :class:`PetriNet` — places + transitions, firing semantics on
+  markings (multisets over places);
+* :func:`from_protocol` — the adapter embedding a population protocol;
+* classic structure tests: conservativity, the incidence matrix,
+  pure-VAS shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.errors import ProtocolError, TransitionNotEnabled
+from ..core.multiset import Multiset
+from ..core.protocol import PopulationProtocol
+
+__all__ = ["NetTransition", "PetriNet", "from_protocol"]
+
+Place = Hashable
+
+
+@dataclass(frozen=True)
+class NetTransition:
+    """A Petri net transition: consume ``pre``, produce ``post``."""
+
+    name: str
+    pre: Multiset
+    post: Multiset
+
+    def __post_init__(self) -> None:
+        if not self.pre.is_natural or not self.post.is_natural:
+            raise ProtocolError(f"transition {self.name}: pre/post must be natural multisets")
+
+    @property
+    def delta(self) -> Multiset:
+        """The displacement ``post - pre``."""
+        return self.post - self.pre
+
+    def enabled_in(self, marking: Multiset) -> bool:
+        """Is the transition enabled (``marking >= pre``)?"""
+        return marking >= self.pre
+
+    def fire(self, marking: Multiset) -> Multiset:
+        """Fire the transition; raises when not enabled."""
+        if not self.enabled_in(marking):
+            raise TransitionNotEnabled(f"{self.name} not enabled in {marking.pretty()}")
+        return marking - self.pre + self.post
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.pre.pretty()} -> {self.post.pretty()}"
+
+
+@dataclass(frozen=True)
+class PetriNet:
+    """A Petri net ``(P, T)``; markings are multisets over ``P``."""
+
+    places: Tuple[Place, ...]
+    transitions: Tuple[NetTransition, ...]
+    name: str = "net"
+
+    def __post_init__(self) -> None:
+        place_set = set(self.places)
+        if len(place_set) != len(self.places):
+            raise ProtocolError("places must be distinct")
+        for t in self.transitions:
+            touched = t.pre.support() | t.post.support()
+            unknown = touched - place_set
+            if unknown:
+                raise ProtocolError(f"transition {t.name} touches unknown places {unknown}")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_places(self) -> int:
+        """The number of places ``|P|``."""
+        return len(self.places)
+
+    @property
+    def num_transitions(self) -> int:
+        """The number of transitions ``|T|``."""
+        return len(self.transitions)
+
+    def enabled(self, marking: Multiset) -> List[NetTransition]:
+        """All transitions enabled in the marking."""
+        return [t for t in self.transitions if t.enabled_in(marking)]
+
+    def successors(self, marking: Multiset) -> List[Tuple[NetTransition, Multiset]]:
+        """All one-step successors (changing ones only)."""
+        result = []
+        for t in self.transitions:
+            if t.enabled_in(marking) and not t.delta.is_zero:
+                result.append((t, t.fire(marking)))
+        return result
+
+    def fire_sequence(self, marking: Multiset, names: Iterable[str]) -> Multiset:
+        """Fire transitions by name; raises on disabled steps."""
+        by_name = {t.name: t for t in self.transitions}
+        current = marking
+        for name in names:
+            current = by_name[name].fire(current)
+        return current
+
+    # ------------------------------------------------------------------
+
+    @property
+    def is_conservative(self) -> bool:
+        """Do all transitions preserve the token count?
+
+        Population protocols always are; general nets need not be.
+        """
+        return all(t.pre.size == t.post.size for t in self.transitions)
+
+    @property
+    def is_ordinary(self) -> bool:
+        """Are all arc weights 1 (each place at most once per side)?"""
+        return all(
+            all(c == 1 for c in t.pre.values()) and all(c == 1 for c in t.post.values())
+            for t in self.transitions
+        )
+
+    def incidence_matrix(self) -> List[List[int]]:
+        """Rows = places, columns = transitions; entries ``delta``."""
+        return [[t.delta[p] for t in self.transitions] for p in self.places]
+
+    def describe(self) -> str:
+        """A readable multi-line description of the net."""
+        lines = [
+            f"net {self.name}: {self.num_places} places, {self.num_transitions} transitions",
+            "  places: " + ", ".join(map(str, self.places)),
+        ]
+        lines.extend(f"  {t}" for t in self.transitions)
+        return "\n".join(lines)
+
+
+def from_protocol(protocol: PopulationProtocol) -> PetriNet:
+    """The Petri net of a population protocol: a place per state.
+
+    Every protocol transition ``p, q -> p', q'`` becomes the net
+    transition consuming ``<p, q>`` and producing ``<p', q'>``; the net
+    is conservative by construction (the embedding the paper uses when
+    importing VAS results).
+    """
+    transitions = tuple(
+        NetTransition(name=str(t), pre=t.pre, post=t.post)
+        for t in protocol.transitions
+    )
+    return PetriNet(
+        places=protocol.states,
+        transitions=transitions,
+        name=f"net({protocol.name})",
+    )

@@ -1,0 +1,32 @@
+"""Well-quasi-order machinery: Dickson's lemma, controlled sequences, FGH."""
+
+from .controlled import (
+    LinearControl,
+    greedy_bad_sequence,
+    max_bad_sequence_length,
+    vectors_of_norm_at_most,
+)
+from .dickson import (
+    first_chain_of_length,
+    first_ordered_pair,
+    is_bad,
+    is_good,
+    longest_nondecreasing_chain,
+)
+from .fgh import ackermann, fast_growing, fast_growing_omega, inverse_ackermann
+
+__all__ = [
+    "first_ordered_pair",
+    "is_good",
+    "is_bad",
+    "longest_nondecreasing_chain",
+    "first_chain_of_length",
+    "LinearControl",
+    "max_bad_sequence_length",
+    "greedy_bad_sequence",
+    "vectors_of_norm_at_most",
+    "fast_growing",
+    "fast_growing_omega",
+    "ackermann",
+    "inverse_ackermann",
+]

@@ -1,0 +1,141 @@
+"""Controlled bad sequences and their length functions (Lemma 4.4's world).
+
+A sequence ``v_0, v_1, ...`` of vectors of ``N^d`` is *controlled* by
+``f`` when ``|v_i| <= f(i)`` (the paper uses the 1-norm and linear
+controls ``f(i) = i + delta``, arising from ``|C_i| = |L| + i``).
+Controlled *bad* sequences (no ordered pair) are finite, and their
+maximal length — the *length function* ``L_(d, f)`` — is the engine of
+the Ackermannian bound of Section 4: Figueira et al. [19] place it at
+level ``F_omega`` of the Fast Growing Hierarchy.
+
+Exact length functions are only computable for tiny dimensions, which
+is precisely what the experiments show (the blow-up from ``d = 1`` to
+``d = 3`` is already dramatic):
+
+* :func:`max_bad_sequence_length` — exact maximal length by exhaustive
+  search with memoisation on the frontier (budgeted);
+* :func:`greedy_bad_sequence` — a long (not necessarily maximal) bad
+  sequence produced by a descending-lexicographic heuristic, to
+  witness lower bounds on the length function cheaply;
+* :class:`LinearControl` — the control functions ``f(i) = i + delta``
+  used throughout Section 4.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.errors import SearchBudgetExceeded
+
+__all__ = ["LinearControl", "max_bad_sequence_length", "greedy_bad_sequence", "vectors_of_norm_at_most"]
+
+Vector = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class LinearControl:
+    """The control function ``f(i) = i + delta``.
+
+    ``delta`` plays the role of the leader count: the stable sequence
+    ``C_2, C_3, ...`` of Lemma 4.2 satisfies ``|C_i| = |L| + i``.
+    """
+
+    delta: int = 0
+
+    def __call__(self, index: int) -> int:
+        return index + self.delta
+
+
+def vectors_of_norm_at_most(dimension: int, norm: int) -> Iterator[Vector]:
+    """All vectors of ``N^dimension`` with 1-norm at most ``norm``."""
+    if dimension == 0:
+        yield ()
+        return
+    for head in range(norm + 1):
+        for tail in vectors_of_norm_at_most(dimension - 1, norm - head):
+            yield (head,) + tail
+
+
+def _dominates(a: Vector, b: Vector) -> bool:
+    return all(x >= y for x, y in zip(a, b))
+
+
+def _minimise(vectors) -> "frozenset":
+    """Minimal elements of a finite set of vectors (antichain)."""
+    vs = list(vectors)
+    return frozenset(
+        v for v in vs if not any(w != v and _dominates(v, w) for w in vs)
+    )
+
+
+def max_bad_sequence_length(
+    dimension: int,
+    control: Callable[[int], int],
+    node_budget: int = 5_000_000,
+) -> int:
+    """The exact maximal length of a controlled bad sequence.
+
+    A sequence can be extended by ``v`` (with ``|v|_1 <= control(i)``)
+    iff ``v`` does not dominate any earlier element — equivalently, any
+    element of the *antichain of minimal earlier elements*.  The search
+    is therefore memoised on ``(index, antichain)``, which collapses
+    the naive exponential tree; it is still only practical for tiny
+    dimensions (that practical wall is the point of experiment E8's
+    WQO side: length functions live at level ``F_omega`` [19]).
+
+    ``node_budget`` bounds the number of distinct memo states; a
+    :class:`SearchBudgetExceeded` signals the limit.
+
+    For ``d = 1`` and ``f(i) = i + delta`` the answer is ``delta + 1``
+    (start at the control's maximum and strictly descend) — a handy
+    test oracle.
+    """
+    cache: dict = {}
+
+    def search(index: int, forbidden: frozenset) -> int:
+        key = (index, forbidden)
+        if key in cache:
+            return cache[key]
+        if len(cache) > node_budget:
+            raise SearchBudgetExceeded(
+                f"bad-sequence search exceeded {node_budget} memo states"
+            )
+        best = 0
+        bound = control(index)
+        for v in vectors_of_norm_at_most(dimension, bound):
+            if any(_dominates(v, m) for m in forbidden):
+                continue
+            extended = _minimise(set(forbidden) | {v})
+            best = max(best, 1 + search(index + 1, extended))
+        cache[key] = best
+        return best
+
+    return search(0, frozenset())
+
+
+def greedy_bad_sequence(
+    dimension: int,
+    control: Callable[[int], int],
+    max_length: int = 10_000,
+) -> List[Vector]:
+    """A long controlled bad sequence via the descending heuristic.
+
+    At step ``i`` the reverse-lexicographically largest admissible
+    vector of norm ``<= control(i)`` is appended.  The result is bad
+    and controlled by construction; it witnesses a lower bound on the
+    length function.
+    """
+    sequence: List[Vector] = []
+    for i in range(max_length):
+        bound = control(i)
+        candidate: Optional[Vector] = None
+        for v in sorted(vectors_of_norm_at_most(dimension, bound), reverse=True):
+            if not any(_dominates(v, earlier) for earlier in sequence):
+                candidate = v
+                break
+        if candidate is None:
+            break
+        sequence.append(candidate)
+    return sequence

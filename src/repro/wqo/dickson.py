@@ -1,0 +1,112 @@
+"""Dickson's lemma: ordered pairs and chains in vector sequences.
+
+Dickson's lemma (Lemma 4.3): every infinite sequence of vectors in
+``N^d`` contains an infinite non-decreasing subsequence; equivalently,
+every sufficiently long finite sequence is *good* (contains indices
+``i < j`` with ``v_i <= v_j``).  Section 4 of the paper applies this to
+the sequence ``C_2, C_3, ...`` of stable configurations to extract the
+pumping pair of Lemma 4.1.
+
+This module provides the finite combinatorics:
+
+* :func:`first_ordered_pair` — the lexicographically earliest good pair;
+* :func:`is_good` / :func:`is_bad`;
+* :func:`longest_nondecreasing_chain` — a maximum-length chain
+  ``v_(i_0) <= v_(i_1) <= ...`` (dynamic programming, O(len^2));
+* :func:`first_chain_of_length` — the earliest prefix containing a
+  chain of a requested length, matching the quantifier structure of
+  Lemma 4.4 (``g(n)+1`` comparable elements within ``F(n)`` steps).
+
+Vectors are arbitrary sequences of ints (or :class:`Multiset` values,
+compared with the multiset order).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..core.multiset import Multiset
+
+__all__ = [
+    "first_ordered_pair",
+    "is_good",
+    "is_bad",
+    "longest_nondecreasing_chain",
+    "first_chain_of_length",
+]
+
+Vector = Union[Sequence[int], Multiset]
+
+
+def _leq(a: Vector, b: Vector) -> bool:
+    if isinstance(a, Multiset) or isinstance(b, Multiset):
+        a_ms = a if isinstance(a, Multiset) else Multiset(dict(enumerate(a)))
+        b_ms = b if isinstance(b, Multiset) else Multiset(dict(enumerate(b)))
+        return a_ms <= b_ms
+    return all(x <= y for x, y in zip(a, b))
+
+
+def first_ordered_pair(sequence: Sequence[Vector]) -> Optional[Tuple[int, int]]:
+    """The earliest indices ``i < j`` with ``v_i <= v_j``, or ``None``.
+
+    "Earliest" minimises ``j`` first, then ``i`` — matching how the
+    Section 4 argument wants the smallest usable pumping input.
+    """
+    for j in range(1, len(sequence)):
+        for i in range(j):
+            if _leq(sequence[i], sequence[j]):
+                return (i, j)
+    return None
+
+
+def is_good(sequence: Sequence[Vector]) -> bool:
+    """Does the sequence contain an ordered (good) pair?"""
+    return first_ordered_pair(sequence) is not None
+
+
+def is_bad(sequence: Sequence[Vector]) -> bool:
+    """A *bad* sequence contains no ordered pair (an antichain order)."""
+    return first_ordered_pair(sequence) is None
+
+
+def longest_nondecreasing_chain(sequence: Sequence[Vector]) -> List[int]:
+    """Indices of a maximum-length chain ``v_(i_0) <= v_(i_1) <= ...``.
+
+    Standard longest-chain dynamic programming under the (partial)
+    product order; ties resolved towards earlier indices.
+    """
+    n = len(sequence)
+    best_length = [1] * n
+    parent: List[Optional[int]] = [None] * n
+    for j in range(n):
+        for i in range(j):
+            if _leq(sequence[i], sequence[j]) and best_length[i] + 1 > best_length[j]:
+                best_length[j] = best_length[i] + 1
+                parent[j] = i
+    if n == 0:
+        return []
+    end = max(range(n), key=lambda j: (best_length[j], -j))
+    chain: List[int] = []
+    cursor: Optional[int] = end
+    while cursor is not None:
+        chain.append(cursor)
+        cursor = parent[cursor]
+    return list(reversed(chain))
+
+
+def first_chain_of_length(sequence: Sequence[Vector], length: int) -> Optional[List[int]]:
+    """Indices of a chain of the requested length in the shortest prefix.
+
+    Mirrors Lemma 4.4: it asks for ``g(n) + 1`` comparable elements
+    within the first ``F(n)`` members of the sequence.  Returns the
+    chain found in the shortest prefix that contains one, or ``None``
+    if even the full sequence does not.
+    """
+    if length <= 0:
+        return []
+    for end in range(len(sequence)):
+        prefix = sequence[: end + 1]
+        chain = longest_nondecreasing_chain(prefix)
+        if len(chain) >= length:
+            return chain[:length]
+    return None

@@ -1,0 +1,55 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro import (
+    binary_threshold,
+    flat_threshold,
+    leader_unary_threshold,
+    majority_protocol,
+    modulo_protocol,
+)
+
+# Keep hypothesis deterministic-ish and fast in CI-like runs.
+settings.register_profile(
+    "repro",
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def majority():
+    return majority_protocol()
+
+
+@pytest.fixture
+def threshold4():
+    """The P'_2 protocol: x >= 4 with 4 states."""
+    return binary_threshold(4)
+
+
+@pytest.fixture
+def threshold5():
+    """x >= 5 (non-power threshold: exercises the collector states)."""
+    return binary_threshold(5)
+
+
+@pytest.fixture
+def flat3():
+    return flat_threshold(3)
+
+
+@pytest.fixture
+def mod3():
+    return modulo_protocol({"x": 1}, 1, 3)
+
+
+@pytest.fixture
+def leader3():
+    return leader_unary_threshold(3)

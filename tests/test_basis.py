@@ -1,0 +1,98 @@
+"""Tests for stable-set bases (Lemma 3.2, empirically)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import binary_threshold
+from repro.analysis.basis import BasisElement, check_basis_element, covers, infer_basis
+from repro.bounds.constants import log2_beta
+from repro.core.multiset import Multiset
+
+
+class TestBasisElement:
+    def test_contains(self):
+        element = BasisElement(
+            B=Multiset({"zero": 2}), S=frozenset({"zero"}), b=0, verified_depth=3
+        )
+        assert element.contains(Multiset({"zero": 5}))
+        assert not element.contains(Multiset({"zero": 1}))
+        assert not element.contains(Multiset({"zero": 2, "2^0": 1}))
+
+    def test_norm(self):
+        element = BasisElement(B=Multiset({"a": 3, "b": 1}), S=frozenset(), b=0, verified_depth=0)
+        assert element.norm == 3
+
+    def test_str(self):
+        element = BasisElement(B=Multiset({"a": 1}), S=frozenset({"a"}), b=1, verified_depth=2)
+        assert "B=" in str(element) and "b=1" in str(element)
+
+
+class TestCheckBasisElement:
+    def test_accepting_direction_is_pumpable(self, threshold4):
+        # all agents accepting: adding more accepting agents stays 1-stable
+        assert check_basis_element(
+            threshold4, Multiset({"2^2": 2}), {"2^2"}, b=1, depth=4
+        )
+
+    def test_zero_direction_is_pumpable_for_reject(self, threshold4):
+        # a terminal reject configuration plus any number of zeros stays 0-stable
+        B = Multiset({"2^1": 1, "2^0": 1})
+        assert check_basis_element(threshold4, B, {"zero"}, b=0, depth=4)
+
+    def test_input_direction_not_pumpable_for_reject(self, threshold4):
+        # pumping fresh input agents eventually crosses the threshold
+        B = Multiset({"2^0": 2})
+        assert not check_basis_element(threshold4, B, {"2^0"}, b=0, depth=4)
+
+    def test_wrong_verdict_fails(self, threshold4):
+        assert not check_basis_element(threshold4, Multiset({"2^2": 2}), {"2^2"}, b=0, depth=2)
+
+
+class TestInferBasis:
+    def test_infers_covering_basis_for_reject(self, threshold4):
+        basis = infer_basis(threshold4, b=0, slice_sizes=[2, 3, 4])
+        assert basis
+        uncovered = covers(basis, threshold4, b=0, slice_sizes=[2, 3, 4])
+        assert uncovered is None
+
+    def test_infers_covering_basis_for_accept(self, threshold4):
+        basis = infer_basis(threshold4, b=1, slice_sizes=[2, 3, 4])
+        assert basis
+        uncovered = covers(basis, threshold4, b=1, slice_sizes=[2, 3, 4])
+        assert uncovered is None
+
+    def test_generalises_beyond_inferred_sizes(self, threshold4):
+        """A basis inferred from small slices covers larger slices too."""
+        basis = infer_basis(threshold4, b=0, slice_sizes=[2, 3, 4], pump_depth=3)
+        uncovered = covers(basis, threshold4, b=0, slice_sizes=[5, 6])
+        assert uncovered is None
+
+    def test_norms_are_tiny_compared_to_beta(self, threshold4):
+        """Experiment E3's observation: empirical norms vs the paper's beta."""
+        basis = infer_basis(threshold4, b=0, slice_sizes=[2, 3, 4])
+        max_norm = max(element.norm for element in basis)
+        # log2(beta) is factorial-sized; the empirical norm is single digits.
+        assert max_norm <= 4
+        assert log2_beta(threshold4.num_states) > 10**5
+
+    def test_subsumption_pruning(self, threshold4):
+        basis = infer_basis(threshold4, b=0, slice_sizes=[2, 3, 4])
+        for element in basis:
+            others = [o for o in basis if o is not element]
+            assert not any(
+                element.S <= o.S
+                and (element.B - o.B).is_natural
+                and (element.B - o.B).supported_on(o.S)
+                for o in others
+            )
+
+
+class TestCovers:
+    def test_reports_uncovered(self, threshold4):
+        # an obviously insufficient basis
+        basis = [
+            BasisElement(B=Multiset({"2^2": 2}), S=frozenset({"2^2"}), b=0, verified_depth=0)
+        ]
+        uncovered = covers(basis, threshold4, b=0, slice_sizes=[3])
+        assert uncovered is not None

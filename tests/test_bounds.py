@@ -1,0 +1,108 @@
+"""Tests for the paper's constants and the busy beaver ledger."""
+
+from __future__ import annotations
+
+from math import factorial
+
+import pytest
+
+from repro import binary_threshold, counting, verify_protocol
+from repro.bounds.busy_beaver import best_leaderless_witness, best_witness_eta, gap_table
+from repro.bounds.constants import (
+    beta,
+    log2_beta,
+    log2_rackoff,
+    log2_theorem_5_9_final,
+    log2_vartheta,
+    theorem_5_9_bound,
+    vartheta,
+    xi,
+    xi_deterministic,
+)
+from repro.core.errors import UnrepresentableNumber
+
+
+class TestConstants:
+    def test_log2_beta_formula(self):
+        # Definition 3: beta = 2^(2(2n+1)! + 1)
+        assert log2_beta(1) == 2 * factorial(3) + 1
+        assert log2_beta(2) == 2 * factorial(5) + 1
+
+    def test_beta_exact_small(self):
+        assert beta(1) == 2 ** (2 * 6 + 1)
+
+    def test_beta_unrepresentable(self):
+        with pytest.raises(UnrepresentableNumber):
+            beta(10)
+
+    def test_log2_always_works(self):
+        # even where the value itself is absurd
+        assert log2_beta(50) == 2 * factorial(101) + 1
+
+    def test_rackoff_one_less_than_beta(self):
+        assert log2_beta(3) == log2_rackoff(3) + 1
+
+    def test_vartheta_formula(self):
+        assert log2_vartheta(1) == factorial(4)
+        assert vartheta(1) == 2 ** factorial(4)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            log2_beta(0)
+        with pytest.raises(ValueError):
+            log2_vartheta(0)
+
+    def test_xi_formula(self):
+        protocol = binary_threshold(4)
+        q, t = protocol.num_states, protocol.num_transitions
+        assert xi(protocol) == 2 * (2 * t + 1) ** q
+        assert xi((q, t)) == xi(protocol)
+
+    def test_xi_deterministic_smaller_for_dense_protocols(self):
+        # Remark 1: for deterministic protocols |T| <= |Q|(|Q|+1)/2, and
+        # the refined constant only depends on |Q|.
+        assert xi_deterministic(4) == 2 * 6**4
+
+    def test_theorem_5_9_chain(self):
+        """eta <= xi n beta 3^n <= 2^((2n+2)!) for the protocols we can afford."""
+        protocol = binary_threshold(2)  # 3 states
+        explicit = theorem_5_9_bound(protocol)
+        n = protocol.num_states
+        assert explicit.bit_length() - 1 <= log2_theorem_5_9_final(n)
+
+    def test_theorem_5_9_unrepresentable(self):
+        protocol = binary_threshold(2**9)  # 11 states: beta needs (23)! bits
+        with pytest.raises(UnrepresentableNumber):
+            theorem_5_9_bound(protocol)
+
+
+class TestBusyBeaverLedger:
+    def test_best_witness_eta_growth(self):
+        # Theorem 2.2 shape: eta = 2^(n-2)
+        assert best_witness_eta(3) == 2
+        assert best_witness_eta(6) == 16
+        assert best_witness_eta(10) == 256
+
+    def test_witness_fits_state_budget(self):
+        for n in range(1, 12):
+            protocol, eta = best_leaderless_witness(n)
+            assert protocol.num_states <= n
+            assert eta == best_witness_eta(n)
+
+    @pytest.mark.parametrize("n", [3, 4, 5, 6])
+    def test_witness_verified(self, n):
+        protocol, eta = best_leaderless_witness(n)
+        report = verify_protocol(protocol, counting(eta), max_input_size=eta + 3)
+        assert report.ok, report.counterexample
+
+    def test_gap_table(self):
+        rows = gap_table([3, 4, 5])
+        assert [row.n for row in rows] == [3, 4, 5]
+        for row in rows:
+            # lower bound is exponential, upper factorial: enormous gap
+            assert row.lower_eta.bit_length() - 1 <= row.log2_upper
+            assert row.log2_upper == factorial(2 * row.n + 2)
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            best_witness_eta(0)

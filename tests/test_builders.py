@@ -1,0 +1,87 @@
+"""Tests for the fluent ProtocolBuilder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import verify_protocol
+from repro.core.errors import ProtocolError
+from repro.core.predicates import majority
+from repro.protocols.builders import ProtocolBuilder
+
+
+def build_majority():
+    return (
+        ProtocolBuilder("built-majority")
+        .state("A", output=1)
+        .state("B", output=0)
+        .state("a", output=1)
+        .state("b", output=0)
+        .rule("A", "B", "a", "b")
+        .rule("A", "b", "A", "a")
+        .rule("B", "a", "B", "b")
+        .rule("a", "b", "b", "b")
+        .input("x", "A")
+        .input("y", "B")
+        .build()
+    )
+
+
+class TestBuilder:
+    def test_builds_working_protocol(self):
+        protocol = build_majority()
+        assert protocol.num_states == 4
+        report = verify_protocol(protocol, majority(), max_input_size=6)
+        assert report.ok
+
+    def test_states_bulk_declaration(self):
+        protocol = (
+            ProtocolBuilder()
+            .states(["p", "q"], output=0)
+            .state("r", output=1)
+            .rule("p", "q", "r", "r")
+            .input("x", "p")
+            .build()
+        )
+        assert protocol.output == {"p": 0, "q": 0, "r": 1}
+
+    def test_rule_requires_declared_states(self):
+        with pytest.raises(ProtocolError, match="undeclared"):
+            ProtocolBuilder().state("p", output=0).rule("p", "q", "p", "p")
+
+    def test_input_requires_declared_state(self):
+        with pytest.raises(ProtocolError, match="undeclared"):
+            ProtocolBuilder().input("x", "nope")
+
+    def test_leader_requires_declared_state(self):
+        with pytest.raises(ProtocolError, match="undeclared"):
+            ProtocolBuilder().leader("nope")
+
+    def test_leader_counts_accumulate(self):
+        builder = ProtocolBuilder().state("l", output=0).state("u", output=0)
+        builder.rule("l", "u", "l", "l").input("x", "u").leader("l").leader("l", 2)
+        protocol = builder.build()
+        assert protocol.leaders["l"] == 3
+
+    def test_redeclaration_conflict(self):
+        builder = ProtocolBuilder().state("p", output=0)
+        with pytest.raises(ProtocolError, match="redeclared"):
+            builder.state("p", output=1)
+
+    def test_redeclaration_same_output_ok(self):
+        builder = ProtocolBuilder().state("p", output=0).state("p", output=0)
+        assert builder._states == {"p": 0}
+
+    def test_build_complete(self):
+        protocol = (
+            ProtocolBuilder()
+            .state("p", output=0)
+            .state("q", output=1)
+            .rule("p", "p", "p", "q")
+            .input("x", "p")
+            .build(complete=True)
+        )
+        assert protocol.is_complete
+
+    def test_name_propagates(self):
+        assert build_majority().name == "built-majority"

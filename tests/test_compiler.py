@@ -1,0 +1,100 @@
+"""Exhaustive verification of the Presburger-predicate compiler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import verify_protocol
+from repro.core.predicates import And, Constant, Modulo, Not, Or, Threshold, counting, majority
+from repro.protocols.compiler import compile_predicate
+
+
+def check(predicate, max_input_size=6, variables=None):
+    protocol = compile_predicate(predicate, variables=variables)
+    trimmed = protocol.restricted_to_coverable()
+    report = verify_protocol(trimmed, predicate, max_input_size=max_input_size)
+    assert report.ok, (str(predicate), report.counterexample)
+    return protocol
+
+
+class TestAtoms:
+    def test_threshold(self):
+        check(counting(3))
+
+    def test_multivariable_threshold(self):
+        check(Threshold({"x": 2, "y": -1}, 1))
+
+    def test_majority(self):
+        check(majority())
+
+    def test_modulo(self):
+        check(Modulo({"x": 1}, 1, 3))
+
+    def test_multivariable_modulo(self):
+        check(Modulo({"x": 1, "y": 2}, 0, 3))
+
+    def test_constant_true(self):
+        protocol = check(Constant(True), variables=("x",))
+        assert protocol.num_states == 1
+
+    def test_constant_false(self):
+        check(Constant(False), variables=("x",))
+
+
+class TestCombinations:
+    def test_conjunction(self):
+        check(And(counting(2), Modulo({"x": 1}, 0, 2)))
+
+    def test_disjunction(self):
+        check(Or(counting(4), Modulo({"x": 1}, 1, 2)))
+
+    def test_negation(self):
+        check(Not(counting(3)))
+
+    def test_nested(self):
+        predicate = And(Not(Modulo({"x": 1}, 0, 2)), counting(3))
+        check(predicate)
+
+    def test_cross_variable_combination(self):
+        """Atoms over different variables share the padded alphabet."""
+        predicate = Or(Threshold({"x": 1}, 3), Threshold({"y": 1}, 3))
+        check(predicate, max_input_size=5)
+
+    def test_majority_with_tie_goes_to_modulo(self):
+        predicate = Or(majority(), Modulo({"x": 1, "y": 1}, 0, 2))
+        check(predicate, max_input_size=5)
+
+
+class TestCompilerErrors:
+    def test_undeclared_variable(self):
+        with pytest.raises(ValueError, match="not declared"):
+            compile_predicate(counting(3), variables=("y",))
+
+    def test_no_variables(self):
+        with pytest.raises(ValueError, match="without input"):
+            compile_predicate(Constant(True), variables=())
+
+    def test_unknown_node_type(self):
+        class Strange:
+            def variables(self):
+                return ("x",)
+
+        with pytest.raises(TypeError):
+            compile_predicate(Strange())  # type: ignore[arg-type]
+
+
+class TestCompilerStructure:
+    def test_product_state_cost(self):
+        left = counting(2)
+        right = Modulo({"x": 1}, 0, 2)
+        combined = compile_predicate(And(left, right))
+        atom_left = compile_predicate(left)
+        atom_right = compile_predicate(right)
+        assert combined.num_states == atom_left.num_states * atom_right.num_states
+
+    def test_compiled_protocols_leaderless(self):
+        assert compile_predicate(majority()).is_leaderless
+
+    def test_name_mentions_predicate(self):
+        protocol = compile_predicate(And(counting(2), Modulo({"x": 1}, 0, 2)))
+        assert "compiled" in protocol.name

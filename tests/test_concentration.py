@@ -1,0 +1,81 @@
+"""Tests for concentrated stable configurations (Lemma 5.5, empirically)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro import binary_threshold
+from repro.analysis.basis import infer_basis
+from repro.analysis.concentration import (
+    ConcentrationWitness,
+    best_concentration,
+    reachable_stable_configurations,
+)
+from repro.analysis.stable import stability_of
+from repro.core.multiset import Multiset
+
+
+@pytest.fixture(scope="module")
+def protocol():
+    return binary_threshold(4)
+
+
+@pytest.fixture(scope="module")
+def basis(protocol):
+    return infer_basis(protocol, b=0, slice_sizes=[2, 3, 4]) + infer_basis(
+        protocol, b=1, slice_sizes=[2, 3, 4]
+    )
+
+
+class TestReachableStable:
+    def test_all_results_are_stable(self, protocol):
+        for config, verdict in reachable_stable_configurations(protocol, 3):
+            assert stability_of(protocol, config) == verdict
+
+    def test_verdict_matches_threshold(self, protocol):
+        for config, verdict in reachable_stable_configurations(protocol, 3):
+            assert verdict == 0
+        accepting = reachable_stable_configurations(protocol, 5)
+        assert all(verdict == 1 for _, verdict in accepting)
+
+    def test_non_empty_for_stabilising_protocols(self, protocol):
+        assert reachable_stable_configurations(protocol, 4)
+
+    def test_sizes_preserved(self, protocol):
+        for config, _ in reachable_stable_configurations(protocol, 6):
+            assert config.size == 6
+
+
+class TestBestConcentration:
+    def test_finds_witness(self, protocol, basis):
+        witness = best_concentration(protocol, 7, basis)
+        assert witness is not None
+        assert witness.element.contains(witness.configuration)
+        assert 0 <= witness.epsilon <= 1
+
+    def test_epsilon_matches_definition(self, protocol, basis):
+        witness = best_concentration(protocol, 7, basis)
+        total = witness.configuration.size
+        outside = total - witness.configuration.count(witness.element.S)
+        assert witness.epsilon == Fraction(outside, total)
+
+    def test_concentration_improves_with_input(self, protocol, basis):
+        """Lemma 5.5's qualitative content: epsilon ~ |B| / a shrinks."""
+        small = best_concentration(protocol, 5, basis)
+        large = best_concentration(protocol, 9, basis)
+        assert small is not None and large is not None
+        assert large.epsilon <= small.epsilon
+
+    def test_d_a_supported_on_s(self, protocol, basis):
+        witness = best_concentration(protocol, 8, basis)
+        assert witness.D_a.is_natural
+        assert witness.D_a.supported_on(witness.element.S)
+
+    def test_none_for_empty_basis(self, protocol):
+        assert best_concentration(protocol, 5, []) is None
+
+    def test_repr(self, protocol, basis):
+        witness = best_concentration(protocol, 6, basis)
+        assert "epsilon" in repr(witness)

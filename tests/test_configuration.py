@@ -1,0 +1,113 @@
+"""Tests for configuration predicates: saturation, concentration, silence."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro import binary_threshold, majority_protocol
+from repro.core.configuration import (
+    concentration,
+    is_concentrated,
+    is_configuration,
+    is_consensus,
+    is_saturated,
+    is_silent,
+    require_configuration,
+    saturation_level,
+)
+from repro.core.errors import ConfigurationError
+from repro.core.multiset import EMPTY, Multiset
+
+
+class TestIsConfiguration:
+    def test_valid(self):
+        assert is_configuration(Multiset({"a": 2}))
+
+    def test_too_small(self):
+        assert not is_configuration(Multiset({"a": 1}))
+
+    def test_negative(self):
+        assert not is_configuration(Multiset({"a": -1, "b": 5}))
+
+    def test_require_raises(self):
+        with pytest.raises(ConfigurationError):
+            require_configuration(EMPTY)
+
+    def test_require_passthrough(self):
+        c = Multiset({"a": 3})
+        assert require_configuration(c) is c
+
+
+class TestSaturation:
+    STATES = ["a", "b", "c"]
+
+    def test_saturated(self):
+        c = Multiset({"a": 2, "b": 1, "c": 3})
+        assert is_saturated(c, self.STATES)
+        assert not is_saturated(c, self.STATES, level=2)
+
+    def test_unpopulated_state_breaks_saturation(self):
+        assert not is_saturated(Multiset({"a": 5, "b": 5}), self.STATES)
+
+    def test_saturation_level(self):
+        c = Multiset({"a": 2, "b": 4, "c": 3})
+        assert saturation_level(c, self.STATES) == 2
+        assert saturation_level(Multiset({"a": 1}), self.STATES) == 0
+
+    def test_level_monotone_in_scaling(self):
+        c = Multiset({"a": 1, "b": 2, "c": 1})
+        assert saturation_level(3 * c, self.STATES) == 3 * saturation_level(c, self.STATES)
+
+
+class TestConcentration:
+    def test_exact_fraction(self):
+        c = Multiset({"a": 7, "b": 1})
+        assert concentration(c, ["a"]) == Fraction(1, 8)
+
+    def test_zero_concentration(self):
+        c = Multiset({"a": 5})
+        assert concentration(c, ["a"]) == 0
+        assert is_concentrated(c, ["a"], 0)
+
+    def test_is_concentrated_threshold(self):
+        c = Multiset({"a": 9, "b": 1})
+        assert is_concentrated(c, ["a"], Fraction(1, 10))
+        assert not is_concentrated(c, ["a"], Fraction(1, 11))
+
+    def test_string_epsilon(self):
+        c = Multiset({"a": 6, "b": 1})
+        assert is_concentrated(c, ["a"], "1/7")
+
+    def test_empty_configuration_raises(self):
+        with pytest.raises(ConfigurationError):
+            concentration(EMPTY, ["a"])
+
+    def test_definition_5_equivalence(self):
+        """epsilon-concentrated iff C(Q \\ S) <= eps * |C|."""
+        c = Multiset({"a": 3, "b": 2, "z": 5})
+        eps = Fraction(1, 2)
+        inside = {"a", "z"}
+        outside = c.size - c.count(inside)
+        assert is_concentrated(c, inside, eps) == (outside * eps.denominator <= eps.numerator * c.size)
+
+
+class TestConsensusAndSilence:
+    def test_is_consensus(self):
+        p = majority_protocol()
+        assert is_consensus(p, Multiset({"A": 2, "a": 1}), 1)
+        assert not is_consensus(p, Multiset({"A": 1, "b": 1}), 1)
+
+    def test_silent_configuration(self):
+        p = majority_protocol()
+        assert is_silent(p, Multiset({"A": 1, "a": 4}))
+
+    def test_non_silent(self):
+        p = majority_protocol()
+        assert not is_silent(p, Multiset({"A": 1, "B": 1}))
+
+    def test_silent_accepting_threshold(self):
+        p = binary_threshold(4)
+        accept = p.states_with_output(1)[0]
+        assert is_silent(p, Multiset({accept: 5}))

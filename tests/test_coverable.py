@@ -1,0 +1,79 @@
+"""Tests for coverable-state computation and restriction (the wlog of §5.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import binary_threshold, counting, flat_threshold, verify_protocol
+from repro.core.multiset import Multiset
+from repro.protocols.builders import ProtocolBuilder
+from repro.protocols.leaders import leader_unary_threshold
+
+
+class TestCoverableStates:
+    def test_all_coverable_for_binary(self, threshold4):
+        assert threshold4.coverable_states() == frozenset(threshold4.states)
+
+    def test_flat2_zero_uncoverable(self):
+        protocol = flat_threshold(2)
+        covered = protocol.coverable_states()
+        assert 0 not in covered
+        assert {1, 2} <= covered
+
+    def test_leaders_seed_the_closure(self):
+        protocol = leader_unary_threshold(2)
+        covered = protocol.coverable_states()
+        assert "L0" in covered  # a leader state, never produced by transitions
+        assert "T" in covered
+
+    def test_dead_state(self):
+        protocol = (
+            ProtocolBuilder("dead")
+            .state("x", output=0)
+            .state("ghost", output=1)
+            .rule("x", "x", "x", "x")
+            .rule("ghost", "ghost", "ghost", "ghost")
+            .input("x", "x")
+            .build()
+        )
+        assert protocol.coverable_states() == frozenset({"x"})
+
+    def test_chained_coverage(self):
+        protocol = (
+            ProtocolBuilder("chain")
+            .state("a", output=0)
+            .state("b", output=0)
+            .state("c", output=1)
+            .rule("a", "a", "a", "b")
+            .rule("a", "b", "c", "c")
+            .input("x", "a")
+            .build()
+        )
+        assert protocol.coverable_states() == frozenset({"a", "b", "c"})
+
+
+class TestRestriction:
+    def test_identity_when_all_coverable(self, threshold4):
+        assert threshold4.restricted_to_coverable() is threshold4
+
+    def test_restriction_drops_state_and_transitions(self):
+        protocol = flat_threshold(2)
+        trimmed = protocol.restricted_to_coverable()
+        assert 0 not in trimmed.states
+        assert all(0 not in t.states() for t in trimmed.transitions)
+
+    def test_restriction_preserves_semantics(self):
+        protocol = flat_threshold(2)
+        trimmed = protocol.restricted_to_coverable()
+        for candidate in (protocol, trimmed):
+            report = verify_protocol(candidate, counting(2), max_input_size=6)
+            assert report.ok
+
+    def test_restriction_preserves_leaders_and_inputs(self):
+        protocol = leader_unary_threshold(2)
+        trimmed = protocol.restricted_to_coverable()
+        assert trimmed.leaders == protocol.leaders
+        assert trimmed.input_mapping == protocol.input_mapping
+
+    def test_indexed_cache_identity(self, threshold4):
+        assert threshold4.indexed() is threshold4.indexed()

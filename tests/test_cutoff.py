@@ -1,0 +1,65 @@
+"""Tests for the §4.1 cut-off functions (All_1 reachability)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import binary_threshold
+from repro.bounds.cutoff import all_one_profile, can_reach_all_one, minimal_all_one_input
+from repro.protocols.builders import ProtocolBuilder
+from repro.protocols.leaders import leader_unary_threshold
+
+
+class TestCanReachAllOne:
+    def test_at_threshold(self, threshold4):
+        assert can_reach_all_one(threshold4, 4)
+
+    def test_below_threshold(self, threshold4):
+        assert not can_reach_all_one(threshold4, 3)
+
+    def test_leader_protocol(self):
+        protocol = leader_unary_threshold(3)
+        assert can_reach_all_one(protocol, 3)
+        assert not can_reach_all_one(protocol, 2)
+
+
+class TestMinimalAllOneInput:
+    @pytest.mark.parametrize("eta", [2, 3, 4, 6])
+    def test_cutoff_equals_threshold(self, eta):
+        """For our threshold protocols the cut-off is eta itself (the
+        quantity §4.1 relates to the busy beaver function)."""
+        protocol = binary_threshold(eta)
+        assert minimal_all_one_input(protocol, max_input=eta + 2) == max(eta, 2)
+
+    def test_none_when_unreachable(self):
+        protocol = (
+            ProtocolBuilder("never-yes")
+            .state("u", output=0)
+            .state("v", output=1)
+            .rule("u", "u", "u", "v")
+            .input("x", "u")
+            .build()
+        )
+        # one u always survives: All_1 is unreachable
+        assert minimal_all_one_input(protocol, max_input=6) is None
+
+    def test_skips_too_small_populations(self, threshold4):
+        # min_input=0 and 1 are not valid populations; silently skipped
+        assert minimal_all_one_input(threshold4, max_input=5, min_input=0) == 4
+
+
+class TestProfile:
+    def test_profile_is_monotone_for_thresholds(self, threshold4):
+        """Leaderless: once All_1 is reachable it stays reachable
+        (IC is additive and acceptance spreads)."""
+        profile = all_one_profile(threshold4, max_input=8, min_input=2)
+        seen_true = False
+        for i in sorted(profile):
+            if profile[i]:
+                seen_true = True
+            elif seen_true:
+                pytest.fail(f"profile flipped back at {i}")
+
+    def test_profile_keys(self, threshold4):
+        profile = all_one_profile(threshold4, max_input=5, min_input=2)
+        assert sorted(profile) == [2, 3, 4, 5]

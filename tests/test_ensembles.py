@@ -1,0 +1,63 @@
+"""Tests for ensemble simulation statistics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import binary_threshold, majority_protocol
+from repro.simulation.ensembles import EnsembleResult, run_ensemble
+
+
+class TestRunEnsemble:
+    def test_threshold_always_correct(self, threshold4):
+        result = run_ensemble(threshold4, 6, trials=20, max_parallel_time=500, seed=1)
+        assert result.convergence_rate == 1.0
+        assert result.verdict_probability(1) == 1.0
+
+    def test_reject_side(self, threshold4):
+        result = run_ensemble(threshold4, 3, trials=20, max_parallel_time=500, seed=2)
+        assert result.verdict_probability(0) == 1.0
+
+    def test_narrow_majority_struggles(self):
+        """Narrow margins with a tiny budget: convergence rate < 1 —
+        the slow-majority phenomenon, quantified."""
+        protocol = majority_protocol()
+        result = run_ensemble(
+            protocol, {"x": 26, "y": 24}, trials=10, max_parallel_time=30, seed=3
+        )
+        assert result.convergence_rate < 1.0
+
+    def test_wide_majority_fast(self):
+        protocol = majority_protocol()
+        result = run_ensemble(
+            protocol, {"x": 40, "y": 10}, trials=10, max_parallel_time=500, seed=4
+        )
+        assert result.convergence_rate == 1.0
+        assert result.verdict_probability(1) == 1.0
+
+    def test_trials_validated(self, threshold4):
+        with pytest.raises(ValueError):
+            run_ensemble(threshold4, 4, trials=0)
+
+
+class TestEnsembleResult:
+    def test_wilson_interval_contains_point(self, threshold4):
+        result = run_ensemble(threshold4, 5, trials=25, max_parallel_time=500, seed=5)
+        low, high = result.wilson_interval(1)
+        assert low <= result.verdict_probability(1) <= high or math.isclose(high, 1.0)
+        assert 0.0 <= low <= high <= 1.0
+
+    def test_quantiles_ordered(self, threshold4):
+        result = run_ensemble(threshold4, 6, trials=15, max_parallel_time=500, seed=6)
+        assert result.time_quantile(0.1) <= result.time_quantile(0.9)
+
+    def test_quantile_of_empty(self):
+        empty = EnsembleResult(trials=1, converged=0, verdicts={None: 1}, parallel_times=())
+        assert empty.time_quantile(0.5) == math.inf
+
+    def test_summary_renders(self, threshold4):
+        result = run_ensemble(threshold4, 5, trials=8, max_parallel_time=500, seed=7)
+        text = result.summary()
+        assert "runs" in text and "verdict" in text

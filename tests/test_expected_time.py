@@ -1,0 +1,120 @@
+"""Tests for the exact expected-convergence-time solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import binary_threshold
+from repro.analysis.expected_time import (
+    expected_convergence_time,
+    transition_matrix,
+)
+from repro.core.errors import ReproError
+from repro.protocols.builders import ProtocolBuilder
+from repro.protocols.leaders import leader_unary_threshold
+from repro.reachability.graph import ReachabilityGraph
+from repro.simulation import CountScheduler
+
+
+def two_agent_coin():
+    """u, u -> d, d with nothing else: exactly one effective interaction."""
+    return (
+        ProtocolBuilder("coin")
+        .state("u", output=0)
+        .state("d", output=1)
+        .rule("u", "u", "d", "d")
+        .input("x", "u")
+        .build()
+    )
+
+
+class TestTransitionMatrix:
+    def test_rows_are_distributions(self, threshold4):
+        indexed = threshold4.indexed()
+        graph = ReachabilityGraph.from_roots(threshold4, [indexed.initial_counts(5)])
+        order = sorted(graph.nodes)
+        matrix = transition_matrix(threshold4, graph, order)
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+        assert (matrix >= 0).all()
+
+    def test_silent_pairs_self_loop(self):
+        protocol = two_agent_coin()
+        indexed = protocol.indexed()
+        graph = ReachabilityGraph.from_roots(protocol, [indexed.initial_counts(2)])
+        order = sorted(graph.nodes)
+        matrix = transition_matrix(protocol, graph, order)
+        # the all-d configuration loops on itself
+        all_d = tuple(2 if s == "d" else 0 for s in indexed.states)
+        row = order.index(all_d)
+        assert matrix[row, row] == pytest.approx(1.0)
+
+
+class TestExpectedTime:
+    def test_single_step_protocol(self):
+        """Two agents, one enabled transition: exactly one interaction."""
+        result = expected_convergence_time(two_agent_coin(), 2)
+        assert result.interactions == pytest.approx(1.0)
+        assert result.population == 2
+        assert result.parallel_time == pytest.approx(0.5)
+
+    def test_stable_start_costs_zero(self, threshold4):
+        # 3 < 4 for three agents already stuck? IC(3) is transient; use a
+        # protocol whose initial configuration is already silent:
+        protocol = (
+            ProtocolBuilder("inert")
+            .state("u", output=0)
+            .input("x", "u")
+            .build()
+        )
+        result = expected_convergence_time(protocol, 4)
+        assert result.interactions == 0.0
+
+    def test_matches_simulation(self, threshold4):
+        """Monte Carlo mean within a few stderr of the exact expectation."""
+        exact = expected_convergence_time(threshold4, 5)
+        samples = []
+        for seed in range(300):
+            run = CountScheduler(threshold4, seed=seed).run(5, max_steps=100_000)
+            assert run.converged
+            samples.append(run.interactions)
+        mean = sum(samples) / len(samples)
+        stderr = (np.std(samples) / np.sqrt(len(samples))) or 1.0
+        assert abs(mean - exact.interactions) < 6 * stderr + 2.0
+
+    def test_leader_protocol(self):
+        protocol = leader_unary_threshold(2)
+        result = expected_convergence_time(protocol, 3)
+        assert result.interactions > 0
+        assert result.population == 4
+
+    def test_nonstabilising_protocol_rejected(self):
+        protocol = (
+            ProtocolBuilder("oscillator")
+            .state("p", output=0)
+            .state("q", output=1)
+            .rule("p", "p", "p", "q")
+            .rule("p", "q", "p", "p")
+            .input("x", "p")
+            .build()
+        )
+        with pytest.raises(ReproError, match="infinite"):
+            expected_convergence_time(protocol, 3)
+
+    def test_per_configuration_consistency(self, threshold4):
+        """One-step conditioning: E[C] = 1 + sum P(C->C') E[C'] holds."""
+        result = expected_convergence_time(threshold4, 4)
+        indexed = threshold4.indexed()
+        graph = ReachabilityGraph.from_roots(threshold4, [indexed.initial_counts(4)])
+        order = sorted(graph.nodes)
+        matrix = transition_matrix(threshold4, graph, order)
+        values = np.array([result.per_configuration[indexed.decode(c)] for c in order])
+        for i, config in enumerate(order):
+            if values[i] == 0.0:
+                continue  # stable
+            assert values[i] == pytest.approx(1.0 + matrix[i] @ values, rel=1e-9)
+
+    def test_expectation_grows_with_population(self, threshold4):
+        small = expected_convergence_time(threshold4, 4)
+        large = expected_convergence_time(threshold4, 7)
+        assert large.interactions > small.interactions

@@ -1,0 +1,41 @@
+"""Tests for the table/number formatting helpers."""
+
+from __future__ import annotations
+
+from repro.fmt import format_big, render_table, section
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["n", "value"], [[1, "aa"], [100, "b"]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert lines[0].startswith("n")
+        assert "-+-" in lines[1]
+
+    def test_cells_stringified(self):
+        text = render_table(["a"], [[None], [3.5]])
+        assert "None" in text and "3.5" in text
+
+    def test_empty_rows(self):
+        text = render_table(["x", "y"], [])
+        assert "x" in text
+
+
+class TestFormatBig:
+    def test_small_exact(self):
+        assert format_big(12345) == "12345"
+
+    def test_large_approximate(self):
+        text = format_big(10**40)
+        assert text.startswith("~1.00e")
+        assert "40" in text
+
+    def test_boundary(self):
+        assert format_big(10**11) == str(10**11)
+
+
+class TestSection:
+    def test_contains_title(self):
+        assert "Experiment" in section("Experiment E1")
+        assert section("x").count("=") >= 16

@@ -1,0 +1,171 @@
+"""Tests for exact reachability graphs: exploration, SCCs, closures."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import binary_threshold, flat_threshold, majority_protocol
+from repro.core.errors import SearchBudgetExceeded
+from repro.reachability.graph import (
+    ReachabilityGraph,
+    count_configurations,
+    enumerate_configurations,
+)
+
+
+class TestEnumeration:
+    def test_count_matches_enumeration(self):
+        for n, size in [(1, 5), (2, 4), (3, 3), (4, 2)]:
+            configs = list(enumerate_configurations(n, size))
+            assert len(configs) == count_configurations(n, size)
+
+    def test_all_have_right_size(self):
+        for config in enumerate_configurations(3, 5):
+            assert sum(config) == 5
+            assert len(config) == 3
+
+    def test_no_duplicates(self):
+        configs = list(enumerate_configurations(3, 4))
+        assert len(configs) == len(set(configs))
+
+    def test_zero_states(self):
+        assert list(enumerate_configurations(0, 0)) == [()]
+        assert list(enumerate_configurations(0, 3)) == []
+
+    @given(st.integers(1, 4), st.integers(0, 6))
+    def test_count_formula(self, n, size):
+        assert count_configurations(n, size) == len(list(enumerate_configurations(n, size)))
+
+
+class TestFromRoots:
+    def test_contains_roots(self, threshold4):
+        indexed = threshold4.indexed()
+        root = indexed.initial_counts(4)
+        graph = ReachabilityGraph.from_roots(threshold4, [root])
+        assert root in graph
+
+    def test_closure_closed_under_successors(self, threshold4):
+        indexed = threshold4.indexed()
+        graph = ReachabilityGraph.from_roots(threshold4, [indexed.initial_counts(5)])
+        for node in graph.nodes:
+            for _, succ in indexed.successors(node):
+                assert succ in graph.nodes
+
+    def test_size_preserved(self, threshold4):
+        indexed = threshold4.indexed()
+        graph = ReachabilityGraph.from_roots(threshold4, [indexed.initial_counts(5)])
+        assert all(sum(node) == 5 for node in graph.nodes)
+
+    def test_budget_enforced(self):
+        protocol = flat_threshold(6)
+        indexed = protocol.indexed()
+        with pytest.raises(SearchBudgetExceeded):
+            ReachabilityGraph.from_roots(protocol, [indexed.initial_counts(6)], node_budget=2)
+
+    def test_multiple_roots(self, threshold4):
+        indexed = threshold4.indexed()
+        g1 = ReachabilityGraph.from_roots(threshold4, [indexed.initial_counts(4)])
+        g2 = ReachabilityGraph.from_roots(
+            threshold4, [indexed.initial_counts(4), indexed.initial_counts(5)]
+        )
+        assert g1.nodes <= g2.nodes
+
+
+class TestFullSlice:
+    def test_contains_everything(self, majority):
+        graph = ReachabilityGraph.full_slice(majority, 3)
+        assert len(graph) == count_configurations(4, 3)
+
+    def test_budget(self, majority):
+        with pytest.raises(SearchBudgetExceeded):
+            ReachabilityGraph.full_slice(majority, 30, node_budget=10)
+
+
+class TestQueries:
+    def test_predecessors_inverse_of_successors(self, threshold4):
+        indexed = threshold4.indexed()
+        graph = ReachabilityGraph.from_roots(threshold4, [indexed.initial_counts(5)])
+        for node in graph.nodes:
+            for succ in graph.successors_of(node):
+                assert node in graph.predecessors_of(succ)
+
+    def test_forward_backward_duality(self, threshold4):
+        indexed = threshold4.indexed()
+        graph = ReachabilityGraph.from_roots(threshold4, [indexed.initial_counts(5)])
+        nodes = sorted(graph.nodes)
+        a, b = nodes[0], nodes[-1]
+        assert (b in graph.forward_closure([a])) == (a in graph.backward_closure([b]))
+
+    def test_can_reach(self, threshold4):
+        indexed = threshold4.indexed()
+        root = indexed.initial_counts(4)
+        graph = ReachabilityGraph.from_roots(threshold4, [root])
+        accepting = graph.can_reach(root, lambda c: indexed.output_of(c) == 1)
+        assert accepting is not None  # 4 >= 4: acceptance reachable
+
+    def test_can_reach_none(self, threshold4):
+        indexed = threshold4.indexed()
+        root = indexed.initial_counts(3)
+        graph = ReachabilityGraph.from_roots(threshold4, [root])
+        accepting = graph.can_reach(root, lambda c: indexed.output_of(c) == 1)
+        assert accepting is None  # 3 < 4: never accepts
+
+    def test_shortest_path_valid(self, threshold4):
+        indexed = threshold4.indexed()
+        root = indexed.initial_counts(4)
+        graph = ReachabilityGraph.from_roots(threshold4, [root])
+        target = graph.can_reach(root, lambda c: indexed.output_of(c) == 1)
+        path = graph.shortest_path(root, target)
+        assert path is not None and path[0] == root and path[-1] == target
+        for a, b in zip(path, path[1:]):
+            assert b in graph.successors_of(a)
+
+    def test_shortest_path_to_self(self, threshold4):
+        indexed = threshold4.indexed()
+        root = indexed.initial_counts(4)
+        graph = ReachabilityGraph.from_roots(threshold4, [root])
+        assert graph.shortest_path(root, root) == [root]
+
+    def test_shortest_path_unreachable(self, threshold4):
+        indexed = threshold4.indexed()
+        root = indexed.initial_counts(3)
+        graph = ReachabilityGraph.from_roots(threshold4, [root])
+        accept_all = tuple(3 if s == "2^2" else 0 for s in indexed.states)
+        assert graph.shortest_path(root, accept_all) is None
+
+
+class TestSCC:
+    def test_sccs_partition_nodes(self, majority):
+        indexed = majority.indexed()
+        graph = ReachabilityGraph.from_roots(majority, [indexed.initial_counts({"x": 2, "y": 2})])
+        sccs = graph.sccs()
+        flattened = [node for component in sccs for node in component]
+        assert sorted(flattened) == sorted(graph.nodes)
+        assert len(flattened) == len(set(flattened))
+
+    def test_bottom_sccs_have_no_exit(self, majority):
+        indexed = majority.indexed()
+        graph = ReachabilityGraph.from_roots(majority, [indexed.initial_counts({"x": 3, "y": 2})])
+        for component in graph.bottom_sccs():
+            members = set(component)
+            for node in component:
+                assert set(graph.successors_of(node)) <= members
+
+    def test_majority_bottom_scc_is_consensus(self, majority):
+        indexed = majority.indexed()
+        graph = ReachabilityGraph.from_roots(majority, [indexed.initial_counts({"x": 3, "y": 1})])
+        bottoms = graph.bottom_sccs()
+        assert bottoms
+        for component in bottoms:
+            for node in component:
+                assert indexed.output_of(node) == 1
+
+    def test_nontrivial_scc_detected(self):
+        """The majority follower tug-of-war creates a cycle (non-bottom SCC)."""
+        majority = majority_protocol()
+        indexed = majority.indexed()
+        graph = ReachabilityGraph.from_roots(majority, [indexed.initial_counts({"x": 2, "y": 1})])
+        sccs = graph.sccs()
+        assert any(len(component) > 1 for component in sccs)

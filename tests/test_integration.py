@@ -1,0 +1,122 @@
+"""Integration tests: whole-paper workflows across modules.
+
+Each test exercises one of the EXPERIMENTS.md stories end to end, so a
+green run here means the benchmark harnesses have everything they need.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    binary_threshold,
+    counting,
+    example_2_1_binary,
+    example_2_1_flat,
+    verify_protocol,
+)
+from repro.analysis import infer_basis, saturation_sequence, stable_slice
+from repro.bounds import (
+    best_leaderless_witness,
+    gap_table,
+    log2_theorem_5_9_final,
+    section4_certificate,
+    section5_certificate,
+    xi,
+)
+from repro.reachability import realisable_basis
+from repro.simulation import CountScheduler
+
+
+class TestExperimentE1:
+    """Example 2.1: the succinctness gap, fully verified."""
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_both_families_verified(self, k):
+        eta = 2**k
+        flat = example_2_1_flat(k)
+        binary = example_2_1_binary(k)
+        assert verify_protocol(flat, counting(eta), max_input_size=eta + 2).ok
+        assert verify_protocol(binary, counting(eta), max_input_size=eta + 2).ok
+        assert flat.num_states == 2**k + 1
+        assert binary.num_states == k + 2
+
+
+class TestExperimentE2:
+    """Theorem 2.2: BB(n) >= 2^(n-2) via verified witnesses."""
+
+    def test_witness_chain(self):
+        for n in (3, 4, 5):
+            protocol, eta = best_leaderless_witness(n)
+            assert eta == 2 ** (n - 2)
+            report = verify_protocol(protocol, counting(eta), max_input_size=eta + 2)
+            assert report.ok
+
+
+class TestExperimentE3:
+    """Lemma 3.2: empirical stable bases vs the beta bound."""
+
+    def test_basis_pipeline(self):
+        protocol = binary_threshold(4)
+        for b in (0, 1):
+            basis = infer_basis(protocol, b=b, slice_sizes=[2, 3, 4])
+            assert basis
+            assert max(e.norm for e in basis) < 10  # vs beta = 2^(2*9!+1)
+
+
+class TestExperimentE4E5:
+    """Saturation (Lemma 5.4) and Pottier basis (Cor 5.7) together."""
+
+    def test_saturation_then_pottier(self):
+        protocol = binary_threshold(6)
+        sat = saturation_sequence(protocol)
+        assert sat.verify(protocol)
+        basis = realisable_basis(protocol)
+        assert basis
+        bound = xi(protocol) // 2
+        assert all(e.size <= bound for e in basis)
+
+
+class TestExperimentE6E7:
+    """Certificates: empirical eta <= a vs the astronomic theorem bound."""
+
+    def test_full_story_for_one_protocol(self):
+        protocol = binary_threshold(4)
+        eta = 4
+        s4 = section4_certificate(protocol, max_length=14)
+        s5 = section5_certificate(protocol, max_input=14)
+        assert s4 is not None and s5 is not None
+        s4.check()
+        s5.check()
+        # soundness: both certified bounds dominate the true threshold
+        assert s4.a >= eta and s5.a >= eta
+        # and both are incomparably smaller than the paper's worst case
+        assert s4.a < 100 and s5.a < 100
+        assert log2_theorem_5_9_final(protocol.num_states) > 10**6
+
+
+class TestExperimentE8:
+    def test_gap_table_shape(self):
+        rows = gap_table(range(3, 7))
+        lowers = [row.lower_eta for row in rows]
+        assert lowers == sorted(lowers)
+        assert all(row.log2_upper > row.lower_eta.bit_length() for row in rows)
+
+
+class TestExperimentE9:
+    def test_simulation_agrees_with_verifier(self):
+        """Simulated consensus == exact verdict on a batch of inputs."""
+        protocol = binary_threshold(5)
+        for inputs in (3, 5, 8):
+            result = CountScheduler(protocol, seed=7).run(inputs, max_steps=200_000)
+            assert result.converged
+            assert protocol.output_of(result.configuration) == (1 if inputs >= 5 else 0)
+
+
+class TestCrossModuleConsistency:
+    def test_stable_slice_vs_simulation_fixed_points(self):
+        """Silent consensus configurations found by simulation are stable."""
+        protocol = binary_threshold(4)
+        result = CountScheduler(protocol, seed=1).run(6, max_steps=100_000)
+        sl = stable_slice(protocol, 6)
+        assert sl.membership(result.configuration) is not None

@@ -1,0 +1,126 @@
+"""Tests for interval/exact protocols and the tiny busy-beaver enumeration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import verify_protocol
+from repro.bounds.enumeration import (
+    all_deterministic_protocols,
+    busy_beaver_search,
+    threshold_behaviour,
+)
+from repro.protocols.intervals import (
+    exact_predicate,
+    exact_protocol,
+    interval_predicate,
+    interval_protocol,
+    upper_bound_predicate,
+    upper_bound_protocol,
+)
+from repro.protocols.threshold_binary import binary_threshold
+
+
+class TestIntervalProtocols:
+    @pytest.mark.parametrize("low,high", [(2, 4), (3, 3), (1, 5)])
+    def test_interval(self, low, high):
+        protocol = interval_protocol(low, high)
+        report = verify_protocol(protocol, interval_predicate(low, high), max_input_size=high + 3)
+        assert report.ok, report.counterexample
+
+    def test_exact(self):
+        protocol = exact_protocol(4)
+        report = verify_protocol(protocol, exact_predicate(4), max_input_size=7)
+        assert report.ok
+
+    @pytest.mark.parametrize("high", [2, 4])
+    def test_upper_bound(self, high):
+        protocol = upper_bound_protocol(high)
+        report = verify_protocol(protocol, upper_bound_predicate(high), max_input_size=high + 3)
+        assert report.ok
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            interval_protocol(5, 4)
+        with pytest.raises(ValueError):
+            interval_protocol(0, 4)
+        with pytest.raises(ValueError):
+            upper_bound_protocol(-1)
+
+    def test_names(self):
+        assert "interval" in interval_protocol(2, 3).name
+        assert "exact" in exact_protocol(3).name
+
+
+class TestEnumeration:
+    def test_count_n1(self):
+        protocols = list(all_deterministic_protocols(1))
+        # 1 input choice * 2 outputs * 1 transition choice
+        assert len(protocols) == 2
+
+    def test_count_n2(self):
+        protocols = list(all_deterministic_protocols(2))
+        # 2 inputs * 4 outputs * 3^3 transition tables
+        assert len(protocols) == 216
+
+    def test_all_complete_and_deterministic(self):
+        for protocol in all_deterministic_protocols(2):
+            assert protocol.is_complete
+            assert protocol.is_deterministic
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            list(all_deterministic_protocols(0))
+
+
+class TestThresholdBehaviour:
+    def test_recognises_threshold(self):
+        protocol = binary_threshold(4)
+        assert threshold_behaviour(protocol, max_input=8) == 4
+
+    def test_trivial_protocol(self):
+        protocol = binary_threshold(1)
+        assert threshold_behaviour(protocol, max_input=6) == 2  # first input checked
+
+    def test_non_threshold_rejected(self):
+        from repro.protocols.builders import ProtocolBuilder
+
+        oscillator = (
+            ProtocolBuilder("oscillator")
+            .state("p", output=0)
+            .state("q", output=1)
+            .rule("p", "p", "p", "q")
+            .rule("p", "q", "p", "p")
+            .input("x", "p")
+            .build()
+        )
+        assert threshold_behaviour(oscillator, max_input=5) is None
+
+    def test_parity_rejected(self):
+        """A modulo protocol flips verdicts: not a threshold."""
+        from repro.protocols.modulo import modulo_protocol
+
+        parity = modulo_protocol({"x": 1}, 0, 2)
+        assert threshold_behaviour(parity, max_input=6) is None
+
+
+class TestBusyBeaverSearch:
+    def test_bb1_is_trivial(self):
+        result = busy_beaver_search(1, max_input=6)
+        assert result.eta == 2
+        assert result.protocols_enumerated == 2
+        assert result.certified
+
+    def test_bb2_exhaustive(self):
+        """The headline tiny-n result: no 2-state protocol separates
+        inputs below 3 from inputs above — BB(2) = 2 (bounded check)."""
+        result = busy_beaver_search(2, max_input=8)
+        assert result.protocols_enumerated == 216
+        assert result.eta == 2
+        assert result.witnesses
+        assert result.certified
+
+    def test_witnesses_actually_behave(self):
+        result = busy_beaver_search(2, max_input=8)
+        for witness in result.witnesses:
+            assert threshold_behaviour(witness, max_input=8) == result.eta

@@ -1,0 +1,128 @@
+"""Tests for linear invariant inference."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import binary_threshold, majority_protocol
+from repro.analysis.invariants import (
+    conserved_value,
+    explains_conservation,
+    invariant_basis,
+    is_invariant,
+)
+from repro.core.multiset import Multiset
+from repro.core.semantics import successors
+from repro.protocols.modulo import modulo_protocol
+
+
+class TestInvariantBasis:
+    def test_population_always_conserved(self, threshold4):
+        ones = {q: 1 for q in threshold4.states}
+        assert is_invariant(threshold4, ones)
+        # and the all-ones vector lies in the span of the basis:
+        basis = invariant_basis(threshold4)
+        # evaluate both sides on unit configurations to check spanning
+        # (the basis annihilates exactly what all invariants annihilate,
+        # so it suffices that ones is an invariant — asserted above)
+        assert basis  # at least population is conserved
+
+    def test_binary_threshold_value_invariant(self):
+        """The hand-proved value function of the construction is found."""
+        protocol = binary_threshold(4)
+        weights = {"2^0": 1, "2^1": 2, "2^2": 0, "zero": 0}
+        # the accepting rules destroy value, so this is NOT invariant
+        assert not is_invariant(protocol, weights)
+        # but restricted to the pre-acceptance rules it is — check via
+        # the basis on the sub-protocol without accepting transitions:
+        from repro.core.protocol import PopulationProtocol
+
+        accept = "2^2"
+        sub = PopulationProtocol(
+            states=protocol.states,
+            transitions=tuple(
+                t for t in protocol.transitions if accept not in (t.p2, t.q2)
+            ),
+            leaders=protocol.leaders,
+            input_mapping=protocol.input_mapping,
+            output=protocol.output,
+            name="pre-acceptance fragment",
+        )
+        value = {"2^0": 1, "2^1": 2, "2^2": 4, "zero": 0}
+        assert is_invariant(sub, value)
+
+    def test_majority_difference_invariant(self):
+        """A - B + a-vs-b pressure: the classic x - y conservation fails
+        (followers flip), but A - B is conserved by all four rules."""
+        protocol = majority_protocol()
+        weights = {"A": 1, "B": -1, "a": 0, "b": 0}
+        assert is_invariant(protocol, weights)
+        basis = invariant_basis(protocol)
+        assert any(
+            conserved_value(w, Multiset({"A": 1})) != conserved_value(w, Multiset({"B": 1}))
+            for w in basis
+        )
+
+    def test_modulo_no_extra_invariants_on_actives(self):
+        protocol = modulo_protocol({"x": 1}, 0, 3)
+        basis = invariant_basis(protocol)
+        for weights in basis:
+            assert is_invariant(protocol, weights)
+
+    def test_basis_members_are_invariants(self, threshold4):
+        for weights in invariant_basis(threshold4):
+            assert is_invariant(threshold4, weights)
+
+    def test_normalisation(self, threshold4):
+        for weights in invariant_basis(threshold4):
+            values = [w for w in weights.values()]
+            assert all(v.denominator == 1 for v in values)
+            nonzero = [v for v in values if v != 0]
+            assert nonzero and nonzero[0] > 0
+
+
+class TestConservedValue:
+    def test_along_executions(self, threshold4):
+        basis = invariant_basis(threshold4)
+        config = threshold4.initial_configuration(6)
+        frontier = [config]
+        for _ in range(4):
+            nxt = []
+            for c in frontier[:4]:
+                for _, succ in successors(threshold4, c):
+                    for weights in basis:
+                        assert conserved_value(weights, succ) == conserved_value(weights, c)
+                    nxt.append(succ)
+            frontier = nxt
+
+    def test_value_of_empty(self):
+        assert conserved_value({"a": 3}, Multiset()) == 0
+
+
+class TestExplainsConservation:
+    def test_unreachability_proof(self):
+        """Majority: (A, B) cannot reach (A, A) — A - B is conserved."""
+        protocol = majority_protocol()
+        witness = explains_conservation(
+            protocol, Multiset({"A": 1, "B": 1}), Multiset({"A": 2})
+        )
+        assert witness is not None
+        assert conserved_value(witness, Multiset({"A": 1, "B": 1})) != conserved_value(
+            witness, Multiset({"A": 2})
+        )
+
+    def test_population_mismatch_detected(self, threshold4):
+        witness = explains_conservation(
+            threshold4, Multiset({"2^0": 3}), Multiset({"2^0": 4})
+        )
+        assert witness is not None
+
+    def test_none_when_reachable(self, threshold4):
+        """Reachable pairs can never be separated by an invariant."""
+        config = threshold4.initial_configuration(4)
+        (_, successor), *_ = successors(threshold4, config)
+        assert explains_conservation(threshold4, config, successor) is None

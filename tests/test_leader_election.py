@@ -1,0 +1,55 @@
+"""Tests for the leader election protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.predicates import Constant
+from repro.analysis.verification import verify_protocol
+from repro.protocols.leader_election import leader_election, unique_leader_certified
+from repro.simulation import CountScheduler, measure_convergence
+
+
+class TestLeaderElection:
+    def test_two_states(self):
+        assert leader_election().num_states == 2
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    def test_unique_leader_certified(self, n):
+        assert unique_leader_certified(leader_election(), n)
+
+    def test_computes_constant_true(self):
+        protocol = leader_election()
+        report = verify_protocol(protocol, Constant(True), max_input_size=6)
+        assert report.ok
+
+    def test_simulation_elects_exactly_one(self):
+        protocol = leader_election()
+        for seed in range(5):
+            result = CountScheduler(protocol, seed=seed).run(50, max_steps=500_000)
+            assert result.converged
+            assert result.configuration["L"] == 1
+            assert result.configuration["F"] == 49
+
+    def test_linear_parallel_time(self):
+        """Pairwise elimination is Theta(n) parallel time: the last two
+        leaders need ~n^2 interactions to meet."""
+        small = measure_convergence(leader_election(), 16, trials=5, seed=0)
+        large = measure_convergence(leader_election(), 64, trials=5, seed=0)
+        assert small.all_converged and large.all_converged
+        assert large.mean_parallel_time > small.mean_parallel_time
+
+    def test_broken_election_detected(self):
+        """A protocol that can eliminate *both* leaders fails the check."""
+        from repro.core.multiset import Multiset
+        from repro.core.protocol import PopulationProtocol, Transition
+
+        broken = PopulationProtocol(
+            states=("L", "F"),
+            transitions=(Transition("L", "L", "F", "F"),),
+            leaders=Multiset(),
+            input_mapping={"x": "L"},
+            output={"L": 1, "F": 1},
+            name="broken election",
+        )
+        assert not unique_leader_certified(broken, 4)

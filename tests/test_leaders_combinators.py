@@ -1,0 +1,120 @@
+"""Verification of leader protocols and boolean combinators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import counting, verify_protocol
+from repro.core.errors import ProtocolError
+from repro.core.predicates import And, Modulo, Not, Or
+from repro.protocols.combinators import conjunction, disjunction, negation, product
+from repro.protocols.leaders import leader_binary_threshold, leader_unary_threshold
+from repro.protocols.modulo import modulo_protocol
+from repro.protocols.threshold_binary import binary_threshold
+
+
+class TestLeaderUnary:
+    @pytest.mark.parametrize("eta", [1, 2, 3, 4, 6])
+    def test_computes_predicate(self, eta):
+        protocol = leader_unary_threshold(eta)
+        report = verify_protocol(protocol, counting(eta), max_input_size=eta + 3, min_input_size=1)
+        assert report.ok, report.counterexample
+
+    def test_has_one_leader(self):
+        protocol = leader_unary_threshold(3)
+        assert not protocol.is_leaderless
+        assert protocol.leaders.size == 1
+
+    def test_initial_configuration_includes_leader(self):
+        protocol = leader_unary_threshold(3)
+        initial = protocol.initial_configuration(2)
+        assert initial["L0"] == 1 and initial["u"] == 2
+
+    def test_state_count(self):
+        assert leader_unary_threshold(4).num_states == 4 + 3
+
+    def test_initial_configuration_not_linear(self):
+        """With leaders IC(a + b) != IC(a) + IC(b): why Section 5 fails."""
+        protocol = leader_unary_threshold(3)
+        lhs = protocol.initial_configuration(4)
+        rhs = protocol.initial_configuration(2) + protocol.initial_configuration(2)
+        assert lhs != rhs
+
+    def test_rejects_eta_zero(self):
+        with pytest.raises(ValueError):
+            leader_unary_threshold(0)
+
+
+class TestLeaderBinary:
+    @pytest.mark.parametrize("eta", [1, 2, 3, 4, 5, 6, 7, 8])
+    def test_computes_predicate(self, eta):
+        protocol = leader_binary_threshold(eta)
+        report = verify_protocol(protocol, counting(eta), max_input_size=eta + 3, min_input_size=1)
+        assert report.ok, (eta, report.counterexample)
+
+    def test_leader_count_is_counter_width(self):
+        assert leader_binary_threshold(6).leaders.size == 3  # width of 6 is 3 bits
+
+    def test_counter_offset(self):
+        """The counter starts at 2^w - eta so overflow hits exactly eta."""
+        protocol = leader_binary_threshold(5)  # width 3, start = 3 = 011
+        assert protocol.leaders["b0=1"] == 1
+        assert protocol.leaders["b1=1"] == 1
+        assert protocol.leaders["b2=0"] == 1
+
+    def test_deterministic(self):
+        assert leader_binary_threshold(6).is_deterministic
+
+
+class TestNegation:
+    def test_flips_predicate(self):
+        protocol = negation(binary_threshold(3))
+        report = verify_protocol(protocol, Not(counting(3)), max_input_size=6)
+        assert report.ok
+
+    def test_double_negation_restores_outputs(self):
+        p = binary_threshold(3)
+        assert negation(negation(p)).output == p.output
+
+    def test_preserves_structure(self):
+        p = binary_threshold(3)
+        n = negation(p)
+        assert n.states == p.states and n.transitions == p.transitions
+
+
+class TestProducts:
+    def test_conjunction(self):
+        protocol = conjunction(binary_threshold(3), modulo_protocol({"x": 1}, 0, 2))
+        predicate = And(counting(3), Modulo({"x": 1}, 0, 2))
+        report = verify_protocol(protocol, predicate, max_input_size=7)
+        assert report.ok, report.counterexample
+
+    def test_disjunction(self):
+        protocol = disjunction(binary_threshold(4), modulo_protocol({"x": 1}, 0, 3))
+        predicate = Or(counting(4), Modulo({"x": 1}, 0, 3))
+        report = verify_protocol(protocol, predicate, max_input_size=7)
+        assert report.ok, report.counterexample
+
+    def test_state_count_is_product(self):
+        left, right = binary_threshold(3), modulo_protocol({"x": 1}, 0, 2)
+        combined = conjunction(left, right)
+        assert combined.num_states == left.num_states * right.num_states
+
+    def test_mismatched_alphabets_rejected(self):
+        with pytest.raises(ProtocolError, match="matching input alphabets"):
+            conjunction(binary_threshold(3), modulo_protocol({"y": 1}, 0, 2))
+
+    def test_leaders_rejected(self):
+        with pytest.raises(ProtocolError, match="leaders"):
+            conjunction(leader_unary_threshold(2), leader_unary_threshold(2))
+
+    def test_custom_combiner(self):
+        """XOR through the generic product: phi xor psi."""
+        left, right = binary_threshold(2), modulo_protocol({"x": 1}, 0, 2)
+        xor = product(left, right, lambda a, b: a ^ b, "xor")
+        predicate = Or(
+            And(counting(2), Not(Modulo({"x": 1}, 0, 2))),
+            And(Not(counting(2)), Modulo({"x": 1}, 0, 2)),
+        )
+        report = verify_protocol(xor, predicate, max_input_size=7)
+        assert report.ok, report.counterexample

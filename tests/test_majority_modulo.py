@@ -1,0 +1,76 @@
+"""Exhaustive verification of majority and modulo protocols."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import verify_protocol
+from repro.core.multiset import Multiset
+from repro.core.predicates import Modulo, majority
+from repro.protocols.majority import majority_protocol
+from repro.protocols.modulo import modulo_protocol, modulo_predicate
+
+
+class TestMajority:
+    def test_four_states(self):
+        assert majority_protocol().num_states == 4
+
+    def test_computes_strict_majority(self):
+        protocol = majority_protocol()
+        report = verify_protocol(protocol, majority(), max_input_size=8)
+        assert report.ok, report.counterexample
+
+    def test_tie_decides_no(self):
+        """x = y must converge to output 0 (ties break to b)."""
+        protocol = majority_protocol()
+        from repro.analysis import verify_input
+
+        assert verify_input(protocol, {"x": 3, "y": 3}, expected=0) is None
+
+    def test_custom_variable_names(self):
+        protocol = majority_protocol("yes", "no")
+        assert set(protocol.input_mapping) == {"yes", "no"}
+        report = verify_protocol(protocol, majority("yes", "no"), max_input_size=6)
+        assert report.ok
+
+    def test_single_sided_populations(self):
+        from repro.analysis import verify_input
+
+        protocol = majority_protocol()
+        assert verify_input(protocol, {"x": 4}, expected=1) is None
+        assert verify_input(protocol, {"y": 4}, expected=0) is None
+
+
+class TestModulo:
+    @pytest.mark.parametrize("modulus,remainder", [(2, 0), (2, 1), (3, 1), (4, 3), (5, 0)])
+    def test_computes_predicate(self, modulus, remainder):
+        protocol = modulo_protocol({"x": 1}, remainder, modulus)
+        predicate = Modulo({"x": 1}, remainder, modulus)
+        report = verify_protocol(protocol, predicate, max_input_size=2 * modulus + 2)
+        assert report.ok, report.counterexample
+
+    def test_state_count(self):
+        assert modulo_protocol({"x": 1}, 0, 5).num_states == 7  # m + 2
+
+    def test_coefficients(self):
+        protocol = modulo_protocol({"x": 2, "y": 1}, 0, 3)
+        predicate = Modulo({"x": 2, "y": 1}, 0, 3)
+        report = verify_protocol(protocol, predicate, max_input_size=6)
+        assert report.ok, report.counterexample
+
+    def test_modulus_one_always_true(self):
+        protocol = modulo_protocol({"x": 1}, 0, 1)
+        predicate = Modulo({"x": 1}, 0, 1)
+        report = verify_protocol(protocol, predicate, max_input_size=6)
+        assert report.ok
+
+    def test_invalid_modulus(self):
+        with pytest.raises(ValueError):
+            modulo_protocol({"x": 1}, 0, 0)
+
+    def test_predicate_helper(self):
+        assert modulo_predicate({"x": 1}, 1, 3)(4)
+
+    def test_input_mapping_reduces_coefficient(self):
+        protocol = modulo_protocol({"x": 7}, 0, 3)
+        assert protocol.input_mapping["x"] == "s1"  # 7 mod 3

@@ -1,0 +1,52 @@
+"""Tests for verification-backed state minimisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import binary_threshold, counting, verify_protocol
+from repro.analysis.minimisation import greedy_minimise, merge_states
+from repro.core.parser import parse_predicate
+from repro.protocols.compiler import compile_predicate
+
+
+class TestMergeStates:
+    def test_basic_merge(self, threshold4):
+        merged = merge_states(threshold4, "zero", "2^1")
+        assert merged.num_states == threshold4.num_states - 1
+        assert "2^1" not in merged.states
+        assert all("2^1" not in t.states() for t in merged.transitions)
+
+    def test_output_conflict_rejected(self, threshold4):
+        with pytest.raises(ValueError, match="different outputs"):
+            merge_states(threshold4, "2^2", "2^0")
+
+    def test_self_merge_rejected(self, threshold4):
+        with pytest.raises(ValueError):
+            merge_states(threshold4, "zero", "zero")
+
+    def test_input_mapping_rewritten(self, threshold4):
+        merged = merge_states(threshold4, "zero", "2^0")
+        assert merged.input_mapping["x"] == "zero"
+
+
+class TestGreedyMinimise:
+    def test_compiled_product_shrinks(self):
+        """The product construction wastes states; the minimiser finds them."""
+        predicate = parse_predicate("x >= 2 and x = 0 (mod 2)")
+        protocol = compile_predicate(predicate).restricted_to_coverable()
+        minimised, merges = greedy_minimise(protocol, predicate, max_input_size=6)
+        assert merges >= 1
+        assert minimised.num_states < protocol.num_states
+        # and the result still verifies
+        assert verify_protocol(minimised, predicate, max_input_size=8).ok
+
+    def test_hand_optimised_family_is_tight(self):
+        protocol = binary_threshold(4)
+        minimised, merges = greedy_minimise(protocol, counting(4), max_input_size=7)
+        assert merges == 0
+        assert minimised.num_states == protocol.num_states
+
+    def test_incorrect_protocol_rejected(self, threshold4):
+        with pytest.raises(ValueError, match="does not compute"):
+            greedy_minimise(threshold4, counting(5), max_input_size=6)

@@ -1,0 +1,219 @@
+"""Unit and property tests for the multiset algebra (paper Section 2.1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.multiset import EMPTY, Multiset
+
+KEYS = ["a", "b", "c", "d"]
+
+
+def multisets(min_value=0, max_value=6):
+    return st.builds(
+        Multiset,
+        st.dictionaries(st.sampled_from(KEYS), st.integers(min_value, max_value), max_size=4),
+    )
+
+
+signed_multisets = lambda: multisets(min_value=-5, max_value=5)
+
+
+class TestConstruction:
+    def test_empty(self):
+        assert EMPTY.size == 0
+        assert len(EMPTY) == 0
+        assert EMPTY.is_zero
+
+    def test_from_mapping_drops_zeros(self):
+        m = Multiset({"a": 1, "b": 0})
+        assert "b" not in m
+        assert len(m) == 1
+
+    def test_from_iterable_counts(self):
+        m = Multiset("aab")
+        assert m["a"] == 2
+        assert m["b"] == 1
+
+    def test_from_multiset_copies(self):
+        m = Multiset({"a": 2})
+        assert Multiset(m) == m
+
+    def test_singleton(self):
+        assert Multiset.singleton("q", 3) == Multiset({"q": 3})
+
+    def test_from_items(self):
+        assert Multiset.from_items("a", "b", "b") == Multiset({"a": 1, "b": 2})
+
+    def test_non_integer_count_rejected(self):
+        with pytest.raises(TypeError):
+            Multiset({"a": 1.5})
+
+    def test_absent_key_is_zero(self):
+        assert Multiset({"a": 1})["zzz"] == 0
+
+    def test_get_default(self):
+        assert Multiset({"a": 1}).get("b", 7) == 7
+
+
+class TestAccessors:
+    def test_size_counts_multiplicity(self):
+        assert Multiset({"a": 2, "b": 3}).size == 5
+
+    def test_count_subset(self):
+        m = Multiset({"a": 2, "b": 3, "c": 1})
+        assert m.count(["a", "c"]) == 3
+
+    def test_support(self):
+        assert Multiset({"a": 1, "b": 2}).support() == {"a", "b"}
+
+    def test_is_natural(self):
+        assert Multiset({"a": 1}).is_natural
+        assert not Multiset({"a": -1}).is_natural
+
+    def test_norms(self):
+        m = Multiset({"a": -3, "b": 2})
+        assert m.norm1() == 5
+        assert m.norm_inf() == 3
+
+    def test_norm_inf_empty(self):
+        assert EMPTY.norm_inf() == 0
+
+
+class TestAlgebra:
+    def test_addition(self):
+        assert Multiset({"a": 1}) + Multiset({"a": 2, "b": 1}) == Multiset({"a": 3, "b": 1})
+
+    def test_subtraction_can_go_negative(self):
+        d = Multiset({"a": 1}) - Multiset({"a": 3})
+        assert d["a"] == -2
+        assert not d.is_natural
+
+    def test_subtraction_cancels_to_empty(self):
+        m = Multiset({"a": 2})
+        assert m - m == EMPTY
+
+    def test_scalar_multiplication(self):
+        assert 3 * Multiset({"a": 2}) == Multiset({"a": 6})
+        assert Multiset({"a": 2}) * 0 == EMPTY
+
+    def test_negation(self):
+        assert -Multiset({"a": 2}) == Multiset({"a": -2})
+
+    @given(multisets(), multisets())
+    def test_addition_commutative(self, m, n):
+        assert m + n == n + m
+
+    @given(multisets(), multisets(), multisets())
+    def test_addition_associative(self, m, n, o):
+        assert (m + n) + o == m + (n + o)
+
+    @given(signed_multisets())
+    def test_additive_inverse(self, m):
+        assert m + (-m) == EMPTY
+
+    @given(multisets(), st.integers(0, 5), st.integers(0, 5))
+    def test_scalar_distributes(self, m, j, k):
+        assert (j + k) * m == j * m + k * m
+
+    @given(multisets(), multisets())
+    def test_size_additive(self, m, n):
+        assert (m + n).size == m.size + n.size
+
+
+class TestOrder:
+    def test_le_basic(self):
+        assert Multiset({"a": 1}) <= Multiset({"a": 2, "b": 1})
+        assert not Multiset({"a": 3}) <= Multiset({"a": 2})
+
+    def test_le_with_negative_entries_on_right(self):
+        assert not EMPTY <= Multiset({"a": -1})
+        assert Multiset({"a": -2}) <= EMPTY
+
+    def test_strict_order(self):
+        assert Multiset({"a": 1}) < Multiset({"a": 2})
+        assert not Multiset({"a": 1}) < Multiset({"a": 1})
+
+    def test_ge_gt(self):
+        assert Multiset({"a": 2}) >= Multiset({"a": 1})
+        assert Multiset({"a": 2}) > Multiset({"a": 1})
+
+    @given(multisets(), multisets())
+    def test_le_iff_difference_natural(self, m, n):
+        assert (m <= n) == (n - m).is_natural
+
+    @given(multisets(), multisets(), multisets())
+    def test_le_monotone_under_addition(self, m, n, o):
+        if m <= n:
+            assert m + o <= n + o
+
+    @given(multisets())
+    def test_reflexive(self, m):
+        assert m <= m
+
+
+class TestHashing:
+    def test_equal_hash(self):
+        assert hash(Multiset({"a": 1, "b": 2})) == hash(Multiset({"b": 2, "a": 1}))
+
+    def test_usable_in_sets(self):
+        s = {Multiset({"a": 1}), Multiset({"a": 1}), Multiset({"a": 2})}
+        assert len(s) == 2
+
+    @given(multisets(), multisets())
+    def test_hash_consistent_with_eq(self, m, n):
+        if m == n:
+            assert hash(m) == hash(n)
+
+
+class TestRestriction:
+    def test_restrict(self):
+        m = Multiset({"a": 1, "b": 2})
+        assert m.restrict(["a"]) == Multiset({"a": 1})
+
+    def test_drop(self):
+        m = Multiset({"a": 1, "b": 2})
+        assert m.drop(["a"]) == Multiset({"b": 2})
+
+    def test_supported_on(self):
+        m = Multiset({"a": 1})
+        assert m.supported_on(["a", "b"])
+        assert not m.supported_on(["b"])
+
+    def test_empty_supported_on_anything(self):
+        assert EMPTY.supported_on([])
+
+    @given(multisets())
+    def test_restrict_drop_partition(self, m):
+        assert m.restrict(["a", "b"]) + m.drop(["a", "b"]) == m
+
+
+class TestElementsAndVectors:
+    def test_elements(self):
+        assert sorted(Multiset({"a": 2, "b": 1}).elements()) == ["a", "a", "b"]
+
+    def test_elements_rejects_negative(self):
+        with pytest.raises(ValueError):
+            list(Multiset({"a": -1}).elements())
+
+    def test_to_vector_roundtrip(self):
+        order = ["a", "b", "c"]
+        m = Multiset({"a": 1, "c": 4})
+        assert Multiset.from_vector(order, m.to_vector(order)) == m
+
+    @given(multisets())
+    def test_vector_roundtrip_property(self, m):
+        assert Multiset.from_vector(KEYS, m.to_vector(KEYS)) == m
+
+
+class TestDisplay:
+    def test_pretty_empty(self):
+        assert EMPTY.pretty() == "(0)"
+
+    def test_pretty_counts(self):
+        assert Multiset({"b": 2, "a": 1}).pretty() == "(a, 2*b)"
+
+    def test_repr_round_trippable_shape(self):
+        assert "Multiset" in repr(Multiset({"a": 1}))

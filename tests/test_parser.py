@@ -1,0 +1,120 @@
+"""Tests for the predicate text parser."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.parser import PredicateSyntaxError, parse_predicate
+from repro.core.predicates import And, Modulo, Not, Or, Threshold
+
+
+class TestAtoms:
+    def test_simple_threshold(self):
+        predicate = parse_predicate("x >= 10")
+        assert isinstance(predicate, Threshold)
+        assert predicate(10) and not predicate(9)
+
+    def test_coefficients_and_subtraction(self):
+        predicate = parse_predicate("2*x - y >= 3")
+        assert predicate({"x": 2, "y": 1})
+        assert not predicate({"x": 1, "y": 0})
+
+    def test_leading_minus(self):
+        predicate = parse_predicate("-x + 2*y >= 0")
+        assert predicate({"x": 2, "y": 1})
+        assert not predicate({"x": 3, "y": 1})
+
+    def test_repeated_variable_coefficients_sum(self):
+        predicate = parse_predicate("x + x >= 4")
+        assert predicate(2) and not predicate(1)
+
+    def test_negative_constant(self):
+        predicate = parse_predicate("x - y >= -2")
+        assert predicate({"x": 0, "y": 2})
+        assert not predicate({"x": 0, "y": 3})
+
+    def test_modulo(self):
+        predicate = parse_predicate("x = 2 (mod 5)")
+        assert isinstance(predicate, Modulo)
+        assert predicate(7) and not predicate(8)
+
+    def test_modulo_negation(self):
+        predicate = parse_predicate("x != 0 (mod 2)")
+        assert predicate(3) and not predicate(4)
+
+    def test_constants(self):
+        assert parse_predicate("true")(0)
+        assert not parse_predicate("false")(99)
+
+    @given(st.integers(0, 30), st.integers(1, 20))
+    def test_strict_and_nonstrict(self, x, c):
+        assert parse_predicate(f"x > {c}")(x) == (x > c)
+        assert parse_predicate(f"x >= {c}")(x) == (x >= c)
+        assert parse_predicate(f"x < {c}")(x) == (x < c)
+        assert parse_predicate(f"x <= {c}")(x) == (x <= c)
+
+    @given(st.integers(0, 30), st.integers(0, 20))
+    def test_equality(self, x, c):
+        assert parse_predicate(f"x = {c}")(x) == (x == c)
+        assert parse_predicate(f"x != {c}")(x) == (x != c)
+
+
+class TestBooleanStructure:
+    def test_and_or_precedence(self):
+        # and binds tighter: a or (b and c)
+        predicate = parse_predicate("x >= 10 or x >= 2 and x <= 4")
+        assert predicate(3)      # right conjunct
+        assert predicate(12)     # left disjunct
+        assert not predicate(6)  # neither
+
+    def test_parentheses_override(self):
+        predicate = parse_predicate("(x >= 10 or x >= 2) and x <= 4")
+        assert predicate(3)
+        assert not predicate(12)
+
+    def test_not(self):
+        predicate = parse_predicate("not x >= 3")
+        assert predicate(2) and not predicate(3)
+
+    def test_nested_parentheses(self):
+        predicate = parse_predicate("not (x >= 3 and not (x >= 7))")
+        # = x < 3 or x >= 7
+        assert predicate(2) and predicate(8) and not predicate(5)
+
+    def test_double_negation(self):
+        predicate = parse_predicate("not not x >= 2")
+        assert predicate(2) and not predicate(1)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "x >=",
+            ">= 3",
+            "x >= 3 and",
+            "x ** 2 >= 1",
+            "x >= 3 (mod 2)",     # mod needs = or !=
+            "x @ 3",
+            "3 >= x",             # bare number without '*var'
+            "x >= 3 x >= 4",      # missing connective
+            "(x >= 3",            # unbalanced
+        ],
+    )
+    def test_rejected(self, text):
+        with pytest.raises(PredicateSyntaxError):
+            parse_predicate(text)
+
+
+class TestCompilerIntegration:
+    def test_parse_then_compile_then_verify(self):
+        from repro import verify_protocol
+        from repro.protocols import compile_predicate
+
+        predicate = parse_predicate("x >= 3 and x = 1 (mod 2)")
+        protocol = compile_predicate(predicate).restricted_to_coverable()
+        report = verify_protocol(protocol, predicate, max_input_size=7)
+        assert report.ok

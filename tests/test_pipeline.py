@@ -1,0 +1,114 @@
+"""Tests for the Section 4 / Section 5 end-to-end pipelines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import binary_threshold, flat_threshold
+from repro.bounds.pipeline import (
+    build_stable_sequence,
+    section4_certificate,
+    section5_certificate,
+)
+from repro.core.multiset import Multiset
+from repro.core.semantics import fire_sequence
+from repro.protocols.leaders import leader_unary_threshold
+from repro.reachability.pseudo import input_state
+
+
+class TestStableSequence:
+    def test_lemma_4_2_properties(self, threshold4):
+        """IC(i) ->* C_i via the recorded paths, and C_i + x ->* C_(i+1)."""
+        seq = build_stable_sequence(threshold4, length=6)
+        x = input_state(threshold4)
+        for position, config in enumerate(seq.configurations):
+            i = seq.input_of(position)
+            initial = threshold4.initial_configuration(i)
+            assert fire_sequence(initial, seq.cumulative_paths[position]) == config
+        for position in range(len(seq.configurations) - 1):
+            bridged = fire_sequence(
+                seq.configurations[position] + Multiset.singleton(x),
+                seq.bridges[position],
+            )
+            assert bridged == seq.configurations[position + 1]
+
+    def test_sizes_grow_linearly(self, threshold4):
+        """|C_i| = |L| + i (the linear control of Lemma 4.4)."""
+        seq = build_stable_sequence(threshold4, length=5)
+        for position, config in enumerate(seq.configurations):
+            assert config.size == seq.input_of(position)
+
+    def test_configurations_are_stable(self, threshold4):
+        from repro.analysis.stable import stability_of
+
+        seq = build_stable_sequence(threshold4, length=4)
+        for config in seq.configurations:
+            assert stability_of(threshold4, config) is not None
+
+    def test_works_with_leaders(self):
+        protocol = leader_unary_threshold(2)
+        seq = build_stable_sequence(protocol, length=4)
+        assert len(seq.configurations) == 4
+        for position, config in enumerate(seq.configurations):
+            assert config.size == seq.input_of(position) + protocol.leaders.size
+
+
+class TestSection4:
+    @pytest.mark.parametrize("eta", [2, 3, 4, 5])
+    def test_certificate_found_and_sound(self, eta):
+        protocol = binary_threshold(eta)
+        certificate = section4_certificate(protocol, max_length=16)
+        assert certificate is not None
+        certificate.check()
+        assert certificate.a >= eta  # soundness: protocol computes x >= eta
+
+    def test_tight_for_small_thresholds(self):
+        """For these protocols the first ordered stable pair appears right
+        at the threshold, so the certificate is tight."""
+        certificate = section4_certificate(binary_threshold(4), max_length=16)
+        assert certificate.a == 4
+
+    @pytest.mark.parametrize("eta", [2, 3])
+    def test_leader_protocols(self, eta):
+        protocol = leader_unary_threshold(eta)
+        certificate = section4_certificate(protocol, max_length=12)
+        assert certificate is not None
+        certificate.check()
+        assert certificate.a >= eta
+
+    def test_flat_threshold(self):
+        certificate = section4_certificate(flat_threshold(3), max_length=12)
+        assert certificate is not None
+        certificate.check()
+        assert certificate.a >= 3
+
+
+class TestSection5:
+    @pytest.mark.parametrize("eta", [2, 4])
+    def test_certificate_found_and_sound(self, eta):
+        protocol = binary_threshold(eta)
+        certificate = section5_certificate(protocol, max_input=14)
+        assert certificate is not None
+        certificate.check()
+        assert certificate.a >= eta
+
+    def test_pump_is_pseudo_realisable(self):
+        from repro.reachability.pseudo import is_potentially_realisable
+
+        certificate = section5_certificate(binary_threshold(4), max_input=14)
+        assert is_potentially_realisable(certificate.protocol, certificate.pi)
+
+    def test_saturation_condition_explicit(self):
+        certificate = section5_certificate(binary_threshold(4), max_input=14)
+        way_point = fire_sequence(
+            certificate.protocol.initial_configuration(certificate.a),
+            certificate.path_to_saturated,
+        )
+        level = min(way_point[q] for q in certificate.protocol.states)
+        assert level >= 2 * certificate.pi.size
+
+    def test_flat_threshold(self):
+        certificate = section5_certificate(flat_threshold(2), max_input=12)
+        assert certificate is not None
+        certificate.check()
+        assert certificate.a >= 2

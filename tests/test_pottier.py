@@ -1,0 +1,144 @@
+"""Tests for the Hilbert basis / Pottier machinery (Theorem 5.6, Cor. 5.7)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import SearchBudgetExceeded
+from repro.diophantine.pottier import (
+    brute_force_minimal_solutions,
+    decompose,
+    is_solution,
+    pottier_norm_bound,
+    solve_equalities,
+    solve_inequalities,
+)
+
+
+class TestSolveEqualities:
+    def test_simple_balance(self):
+        # x1 - x2 = 0  =>  minimal solution (1, 1)
+        assert solve_equalities([[1, -1]]) == [(1, 1)]
+
+    def test_two_to_one(self):
+        # 2 x1 - x2 = 0 => (1, 2)
+        assert solve_equalities([[2, -1]]) == [(1, 2)]
+
+    def test_no_nontrivial_solutions(self):
+        # x1 + x2 = 0 has only the zero solution
+        assert solve_equalities([[1, 1]]) == []
+
+    def test_free_variables(self):
+        # 0 = 0: every unit vector is minimal
+        assert solve_equalities([[0, 0]]) == [(0, 1), (1, 0)]
+
+    def test_multiple_equations(self):
+        # x1 = x2 and x2 = x3 => (1,1,1)
+        assert solve_equalities([[1, -1, 0], [0, 1, -1]]) == [(1, 1, 1)]
+
+    def test_classic_example(self):
+        # x1 + x2 - 2 x3 = 0: minimal solutions (2,0,1), (0,2,1), (1,1,1)
+        basis = solve_equalities([[1, 1, -2]])
+        assert set(basis) == {(2, 0, 1), (0, 2, 1), (1, 1, 1)}
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            solve_equalities([])
+
+    def test_ragged_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            solve_equalities([[1, 2], [1]])
+
+    def test_budget(self):
+        with pytest.raises(SearchBudgetExceeded):
+            solve_equalities([[3, -5, 7, -11]], frontier_budget=3)
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=30)
+    @given(
+        st.lists(
+            st.lists(st.integers(-2, 2), min_size=3, max_size=3),
+            min_size=1,
+            max_size=2,
+        )
+    )
+    def test_equalities_match_brute_force(self, matrix):
+        basis = solve_equalities(matrix, frontier_budget=200_000)
+        bound = max((sum(v) for v in basis), default=0) + 2
+        reference = brute_force_minimal_solutions(matrix, max_norm=min(bound, 9), equalities=True)
+        expected = [v for v in reference if sum(v) <= min(bound, 9)]
+        computed = [v for v in basis if sum(v) <= min(bound, 9)]
+        assert set(computed) == set(expected)
+
+    def test_inequalities_small_system(self):
+        matrix = [[1, -1, 0], [0, 1, -1]]
+        basis = solve_inequalities(matrix)
+        # every basis element is a solution
+        for v in basis:
+            assert is_solution(matrix, v, equalities=False)
+        # and generates: some known solutions decompose
+        for target in [(1, 0, 0), (1, 1, 0), (2, 1, 1), (3, 2, 2)]:
+            if is_solution(matrix, target, equalities=False):
+                assert decompose(basis, target) is not None, target
+
+
+class TestInequalities:
+    def test_single_inequality(self):
+        # x1 - x2 >= 0
+        basis = solve_inequalities([[1, -1]])
+        assert (1, 0) in basis and (1, 1) in basis
+        for v in basis:
+            assert v[0] >= v[1]
+
+    def test_all_solutions_nonzero(self):
+        basis = solve_inequalities([[1, -2], [-1, 3]])
+        assert all(any(v) for v in basis)
+
+    def test_generating_property_exhaustive(self):
+        matrix = [[2, -1], [-1, 1]]
+        basis = solve_inequalities(matrix)
+        for a in range(5):
+            for b in range(5):
+                if is_solution(matrix, (a, b), equalities=False):
+                    assert decompose(basis, (a, b)) is not None, (a, b)
+
+
+class TestNormBound:
+    def test_formula(self):
+        # rows sums: |1|+|-1| = 2 and |2|+|1| = 3 -> (1+3)^2 = 16
+        assert pottier_norm_bound([[1, -1], [2, 1]]) == 16
+
+    def test_bound_respected_on_random_systems(self):
+        import itertools
+        import random
+
+        rng = random.Random(42)
+        for _ in range(10):
+            matrix = [[rng.randint(-2, 2) for _ in range(3)] for _ in range(2)]
+            basis = solve_inequalities(matrix, frontier_budget=500_000)
+            bound = pottier_norm_bound(matrix)
+            assert all(sum(v) <= bound for v in basis)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            pottier_norm_bound([])
+
+
+class TestDecompose:
+    def test_zero_target(self):
+        assert decompose([(1, 1)], (0, 0)) == []
+
+    def test_simple(self):
+        result = decompose([(1, 1), (2, 0)], (4, 2))
+        assert result is not None
+        total = [0, 0]
+        for vector, count in result:
+            total[0] += vector[0] * count
+            total[1] += vector[1] * count
+        assert tuple(total) == (4, 2)
+
+    def test_impossible(self):
+        assert decompose([(2, 0)], (1, 0)) is None

@@ -1,0 +1,127 @@
+"""Tests for the predicate fragment (thresholds, modulo, boolean ops)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.multiset import Multiset
+from repro.core.predicates import And, Constant, Modulo, Not, Or, Threshold, counting, majority
+
+
+class TestThreshold:
+    def test_counting(self):
+        phi = counting(5)
+        assert not phi(4)
+        assert phi(5)
+        assert phi(6)
+
+    def test_multivariable(self):
+        phi = Threshold({"x": 2, "y": -1}, 3)
+        assert phi({"x": 2, "y": 1})
+        assert not phi({"x": 1, "y": 0})
+
+    def test_accepts_multiset_input(self):
+        phi = counting(2)
+        assert phi(Multiset({"x": 3}))
+
+    def test_integer_input_needs_single_variable(self):
+        phi = Threshold({"x": 1, "y": 1}, 2)
+        with pytest.raises(ValueError):
+            phi(4)
+
+    def test_missing_variable_counts_zero(self):
+        phi = Threshold({"x": 1, "y": 1}, 2)
+        assert not phi({"x": 1})
+
+    def test_str(self):
+        assert str(counting(7)) == "x >= 7"
+        assert ">= 3" in str(Threshold({"x": 2}, 3))
+
+    def test_hashable_and_eq(self):
+        assert counting(3) == counting(3)
+        assert len({counting(3), counting(3), counting(4)}) == 2
+
+    @given(st.integers(0, 50), st.integers(1, 30))
+    def test_threshold_semantics(self, x, eta):
+        assert counting(eta)(x) == (x >= eta)
+
+
+class TestModulo:
+    def test_basic(self):
+        phi = Modulo({"x": 1}, 1, 3)
+        assert phi(1) and phi(4)
+        assert not phi(3)
+
+    def test_remainder_normalised(self):
+        assert Modulo({"x": 1}, 5, 3).remainder == 2
+
+    def test_invalid_modulus(self):
+        with pytest.raises(ValueError):
+            Modulo({"x": 1}, 0, 0)
+
+    def test_coefficients(self):
+        phi = Modulo({"x": 2, "y": 1}, 0, 4)
+        assert phi({"x": 2, "y": 0})
+        assert not phi({"x": 2, "y": 1})
+
+    def test_str(self):
+        assert "(mod 3)" in str(Modulo({"x": 1}, 1, 3))
+
+    @given(st.integers(0, 60), st.integers(1, 12), st.integers(0, 11))
+    def test_modulo_semantics(self, x, m, r):
+        assert Modulo({"x": 1}, r, m)(x) == (x % m == r % m)
+
+
+class TestBoolean:
+    def test_not(self):
+        phi = Not(counting(3))
+        assert phi(2) and not phi(3)
+
+    def test_and_or(self):
+        phi = And(counting(2), Modulo({"x": 1}, 0, 2))
+        assert phi(4) and not phi(3) and not phi(1)
+        psi = Or(counting(5), Modulo({"x": 1}, 0, 2))
+        assert psi(2) and psi(5) and not psi(3)
+
+    def test_operator_sugar(self):
+        phi = ~counting(3)
+        assert phi(2)
+        both = counting(2) & counting(4)
+        assert both(4) and not both(3)
+        either = counting(9) | counting(2)
+        assert either(2)
+
+    def test_variables_merged(self):
+        phi = And(Threshold({"x": 1}, 1), Threshold({"y": 1}, 1))
+        assert set(phi.variables()) == {"x", "y"}
+
+    def test_constant(self):
+        assert Constant(True)(0)
+        assert not Constant(False)({"x": 99})
+        assert Constant(True).variables() == ()
+
+    def test_str_nesting(self):
+        phi = Or(Not(counting(1)), counting(2))
+        text = str(phi)
+        assert "or" in text and "not" in text
+
+    @given(st.integers(0, 30))
+    def test_de_morgan(self, x):
+        a, b = counting(5), Modulo({"x": 1}, 0, 3)
+        lhs = Not(And(a, b))
+        rhs = Or(Not(a), Not(b))
+        assert lhs(x) == rhs(x)
+
+
+class TestMajorityPredicate:
+    def test_majority(self):
+        phi = majority()
+        assert phi({"x": 3, "y": 2})
+        assert not phi({"x": 2, "y": 2})
+        assert not phi({"x": 1, "y": 2})
+
+    @given(st.integers(0, 20), st.integers(0, 20))
+    def test_majority_semantics(self, x, y):
+        assert majority()({"x": x, "y": y}) == (x > y)

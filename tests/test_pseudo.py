@@ -1,0 +1,148 @@
+"""Tests for potentially realisable multisets (Definition 4, Corollary 5.7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import binary_threshold, leader_unary_threshold
+from repro.bounds.constants import xi
+from repro.core.errors import ProtocolError
+from repro.core.multiset import Multiset
+from repro.core.semantics import displacement_of, parikh
+from repro.reachability.pseudo import (
+    RealisableBasisElement,
+    input_state,
+    is_potentially_realisable,
+    minimal_input_for,
+    realisability_matrix,
+    realisable_basis,
+    witness_configuration,
+)
+
+
+class TestInputState:
+    def test_single_input(self, threshold4):
+        assert input_state(threshold4) == "2^0"
+
+    def test_multi_input_rejected(self, majority):
+        with pytest.raises(ProtocolError):
+            input_state(majority)
+
+
+class TestRealisabilityMatrix:
+    def test_shape(self, threshold4):
+        matrix, transitions, row_states = realisability_matrix(threshold4)
+        assert len(matrix) == threshold4.num_states - 1
+        assert all(len(row) == threshold4.num_transitions for row in matrix)
+        assert input_state(threshold4) not in row_states
+
+    def test_entries_are_displacements(self, threshold4):
+        matrix, transitions, row_states = realisability_matrix(threshold4)
+        for r, state in enumerate(row_states):
+            for c, transition in enumerate(transitions):
+                assert matrix[r][c] == transition.displacement[state]
+
+    def test_leaders_rejected(self):
+        with pytest.raises(ProtocolError, match="leaderless"):
+            realisability_matrix(leader_unary_threshold(2))
+
+
+class TestRealisabilityChecks:
+    def test_executable_sequences_are_realisable(self, threshold4):
+        """Lemma 5.1(i) corollary: Parikh images of real runs are realisable."""
+        from repro.core.semantics import fire_sequence, successors
+
+        config = threshold4.initial_configuration(6)
+        fired = []
+        for _ in range(4):
+            options = successors(threshold4, config)
+            if not options:
+                break
+            t, config = options[0]
+            fired.append(t)
+        pi = parikh(fired)
+        assert is_potentially_realisable(threshold4, pi)
+        assert minimal_input_for(threshold4, pi) is not None
+
+    def test_unrealisable_multiset(self, threshold4):
+        # doubling 2^1 twice requires two 2^1 agents that nothing provides
+        t = next(
+            t for t in threshold4.transitions if t.pre == Multiset({"2^1": 2})
+        )
+        pi = Multiset({t: 1})
+        # one doubling of 2^1 consumes two 2^1 nobody produced
+        assert not is_potentially_realisable(threshold4, pi)
+
+    def test_minimal_input(self, threshold4):
+        t = next(t for t in threshold4.transitions if t.pre == Multiset({"2^0": 2}))
+        pi = Multiset({t: 1})
+        assert minimal_input_for(threshold4, pi) == 2
+
+    def test_witness_configuration(self, threshold4):
+        t = next(t for t in threshold4.transitions if t.pre == Multiset({"2^0": 2}))
+        pi = Multiset({t: 1})
+        witness = witness_configuration(threshold4, pi)
+        assert witness == Multiset({"2^1": 1, "zero": 1})
+
+    def test_witness_insufficient_input(self, threshold4):
+        t = next(t for t in threshold4.transitions if t.pre == Multiset({"2^0": 2}))
+        pi = Multiset({t: 1})
+        with pytest.raises(ValueError):
+            witness_configuration(threshold4, pi, i=0)
+
+    def test_witness_unrealisable(self, threshold4):
+        t = next(t for t in threshold4.transitions if t.pre == Multiset({"2^1": 2}))
+        with pytest.raises(ValueError):
+            witness_configuration(threshold4, Multiset({t: 1}))
+
+    def test_leaders_compensate(self):
+        """With leaders the leader multiset can absorb negative displacement."""
+        protocol = leader_unary_threshold(2)
+        t = next(t for t in protocol.transitions if t.pre == Multiset({"L0": 1, "u": 1}))
+        pi = Multiset({t: 1})
+        assert is_potentially_realisable(protocol, pi)
+
+
+class TestRealisableBasis:
+    def test_elements_are_realisable(self, threshold4):
+        for element in realisable_basis(threshold4):
+            assert is_potentially_realisable(threshold4, element.pi)
+            assert element.configuration.is_natural
+
+    def test_pottier_bound_cor_5_7(self, threshold5):
+        """Corollary 5.7: every basis element has |pi| <= xi/2 and i <= xi."""
+        bound = xi(threshold5) // 2
+        for element in realisable_basis(threshold5):
+            assert element.size <= bound
+            assert element.input_size <= 2 * bound
+
+    def test_generates_run_parikhs(self, threshold4):
+        """Parikh images of genuine runs decompose over the basis."""
+        from repro.core.semantics import successors
+        from repro.diophantine.pottier import decompose
+
+        basis = realisable_basis(threshold4)
+        order = threshold4.transitions
+        basis_vectors = [tuple(e.pi[t] for t in order) for e in basis]
+
+        config = threshold4.initial_configuration(4)
+        fired = []
+        for _ in range(3):
+            options = successors(threshold4, config)
+            if not options:
+                break
+            t, config = options[0]
+            fired.append(t)
+        pi = parikh(fired)
+        target = tuple(pi[t] for t in order)
+        assert decompose(basis_vectors, target) is not None
+
+    def test_supported_on(self, threshold4):
+        basis = realisable_basis(threshold4)
+        element = next(e for e in basis if e.configuration == Multiset({"2^2": 1}))
+        assert element.supported_on({"2^2"})
+        assert not element.supported_on({"zero"})
+
+    def test_repr(self, threshold4):
+        element = realisable_basis(threshold4)[0]
+        assert "RealisableBasisElement" in repr(element)

@@ -1,0 +1,150 @@
+"""Property tests over *random protocols*: cross-module soundness net.
+
+A hypothesis strategy generates arbitrary small complete protocols;
+the properties below must hold for every one of them — they are the
+structural facts of the paper, not features of our curated families:
+
+* monotonicity of the step relation (Section 2.2);
+* Lemma 3.1: the exact stable slices are downward closed;
+* Lemma 5.1(i): firing implies pseudo-firing;
+* the verdict trichotomy: every input yields verdict 0, 1, or
+  "no consensus" — and simulation, when it converges, agrees with the
+  exact bottom-SCC analysis;
+* Karp-Miller coverability agrees with explicit forward exploration;
+* serialisation round-trips preserve behaviour.
+"""
+
+from __future__ import annotations
+
+import random as _random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stable import stable_slice
+from repro.analysis.verification import verify_input
+from repro.core.multiset import Multiset
+from repro.core.protocol import PopulationProtocol, Transition
+from repro.core.semantics import fire, parikh, pseudo_fire, successors
+from repro.io import dumps, loads
+from repro.reachability.coverability import karp_miller
+from repro.reachability.graph import ReachabilityGraph
+
+# The strategy ships as public API so downstream users can reuse it.
+from repro.testing import protocols
+
+
+class TestStructuralProperties:
+    @settings(max_examples=40)
+    @given(protocols(), st.integers(2, 5), st.integers(0, 3))
+    def test_monotonicity(self, protocol, size, extra):
+        """C --t--> C' implies C + D --t--> C' + D."""
+        config = protocol.initial_configuration(size)
+        context = Multiset.singleton(protocol.states[0], extra)
+        for t, successor in successors(protocol, config):
+            assert fire(config + context, t) == successor + context
+
+    @settings(max_examples=40)
+    @given(protocols(), st.integers(2, 5))
+    def test_lemma_5_1_i(self, protocol, size):
+        """Any fired prefix satisfies C ==parikh(sigma)==> C'."""
+        config = protocol.initial_configuration(size)
+        fired = []
+        current = config
+        for _ in range(3):
+            options = successors(protocol, current)
+            if not options:
+                break
+            t, current = options[0]
+            fired.append(t)
+        assert pseudo_fire(config, parikh(fired)) == current
+
+    @settings(max_examples=25)
+    @given(protocols(), st.integers(2, 4))
+    def test_lemma_3_1_downward_closure(self, protocol, size):
+        """Stable slices are downward closed (one-agent removals)."""
+        if size < 3:
+            return
+        big = stable_slice(protocol, size)
+        small = stable_slice(protocol, size - 1)
+        indexed = protocol.indexed()
+        for b, stable_set, smaller_set in (
+            (0, big.stable0, small.stable0),
+            (1, big.stable1, small.stable1),
+        ):
+            for config in stable_set:
+                for i, count in enumerate(config):
+                    if count == 0:
+                        continue
+                    reduced = tuple(c - 1 if j == i else c for j, c in enumerate(config))
+                    if sum(reduced) >= 2:
+                        assert reduced in smaller_set
+
+    @settings(max_examples=30)
+    @given(protocols(), st.integers(2, 5))
+    def test_verdict_trichotomy(self, protocol, size):
+        accepts = verify_input(protocol, size, expected=1) is None
+        rejects = verify_input(protocol, size, expected=0) is None
+        assert not (accepts and rejects)
+
+    @settings(max_examples=20)
+    @given(protocols(), st.integers(2, 4))
+    def test_simulation_agrees_with_exact(self, protocol, size):
+        """A converged (silent-consensus) simulation matches some exact
+        verdict: the exact analysis can never call the opposite."""
+        from repro.simulation import CountScheduler
+
+        result = CountScheduler(protocol, seed=size).run(size, max_steps=3_000)
+        if not result.converged:
+            return
+        verdict = protocol.output_of(result.configuration)
+        if verdict is None:
+            return
+        opposite_certain = verify_input(protocol, size, expected=1 - verdict) is None
+        assert not opposite_certain
+
+    @settings(max_examples=20)
+    @given(protocols(), st.integers(2, 4))
+    def test_karp_miller_covers_forward_reach(self, protocol, size):
+        """Everything explicitly reachable is covered by the KM limits."""
+        indexed = protocol.indexed()
+        root = indexed.initial_counts(size)
+        graph = ReachabilityGraph.from_roots(protocol, [root])
+        tree = karp_miller(protocol, [root], node_budget=100_000)
+        for node in graph.nodes:
+            assert tree.covers(node)
+
+    @settings(max_examples=20)
+    @given(protocols(), st.integers(2, 4))
+    def test_serialisation_preserves_verdicts(self, protocol, size):
+        restored = loads(dumps(protocol))
+        for expected in (0, 1):
+            original = verify_input(protocol, size, expected=expected) is None
+            round_tripped = verify_input(restored, size, expected=expected) is None
+            assert original == round_tripped
+
+    @settings(max_examples=30)
+    @given(protocols(), st.integers(2, 5))
+    def test_invariants_conserved_along_steps(self, protocol, size):
+        """Every inferred linear invariant really is conserved."""
+        from repro.analysis.invariants import conserved_value, invariant_basis
+
+        basis = invariant_basis(protocol)
+        config = protocol.initial_configuration(size)
+        for _, successor in successors(protocol, config):
+            for weights in basis:
+                assert conserved_value(weights, successor) == conserved_value(weights, config)
+
+    @settings(max_examples=20)
+    @given(protocols(), st.integers(2, 4))
+    def test_state_equation_never_refutes_reachable(self, protocol, size):
+        """refute_reachability is sound on random protocols."""
+        from repro.reachability.state_equation import refute_reachability
+
+        indexed = protocol.indexed()
+        root = indexed.initial_counts(size)
+        graph = ReachabilityGraph.from_roots(protocol, [root])
+        source = indexed.decode(root)
+        for node in sorted(graph.nodes)[:6]:
+            assert refute_reachability(protocol, source, indexed.decode(node)) is None

@@ -1,0 +1,64 @@
+"""Tests for the rendez-vous synchronisation cut-offs (§4.1 footnote 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bounds.rendezvous import (
+    minimal_synchronisation_input,
+    synchronisation_possible,
+    synchronisation_profile,
+)
+from repro.protocols.leaders import leader_unary_threshold
+
+
+@pytest.fixture(scope="module")
+def protocol():
+    # the leader walks L0 -> L1 -> L2 -> T consuming one `u` each
+    return leader_unary_threshold(3)
+
+
+class TestSynchronisationPossible:
+    def test_exact_count_succeeds(self, protocol):
+        # leader L0 + 3 u's can become T + 3 d's
+        assert synchronisation_possible(protocol, "L0", "u", "T", "d", 3)
+
+    def test_insufficient_agents(self, protocol):
+        assert not synchronisation_possible(protocol, "L0", "u", "T", "d", 2)
+
+    def test_excess_agents_fail_exact_target(self, protocol):
+        # with 4 u's the leader reaches T but the *all-d* shape needs the
+        # T-epidemic to have converted nobody else, while leftover u
+        # agents get converted to T, not d: exact (T, 4*d) is unreachable
+        assert synchronisation_possible(protocol, "L0", "u", "T", "T", 4)
+
+    def test_invalid_n(self, protocol):
+        with pytest.raises(ValueError):
+            synchronisation_possible(protocol, "L0", "u", "T", "d", 0)
+
+
+class TestMinimalInput:
+    def test_cutoff_is_threshold(self, protocol):
+        assert (
+            minimal_synchronisation_input(protocol, "L0", "u", "T", "d", max_n=6) == 3
+        )
+
+    def test_unreachable_returns_none(self, protocol):
+        # the leader can never end in L0 with everyone dead: consuming
+        # an agent advances the counter
+        assert (
+            minimal_synchronisation_input(protocol, "L0", "u", "L0", "d", max_n=5)
+            is None
+        )
+
+
+class TestProfile:
+    def test_profile_shape(self, protocol):
+        profile = synchronisation_profile(protocol, "L0", "u", "T", "T", max_n=6)
+        # below the threshold impossible; at and beyond possible
+        assert profile[1] is False and profile[2] is False
+        assert profile[3] is True and profile[6] is True
+
+    def test_profile_keys_contiguous(self, protocol):
+        profile = synchronisation_profile(protocol, "L0", "u", "T", "T", max_n=5)
+        assert sorted(profile) == [1, 2, 3, 4, 5]

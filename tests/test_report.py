@@ -1,0 +1,63 @@
+"""Tests for the comprehensive analysis report (and its CLI command)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import binary_threshold, counting, majority_protocol
+from repro.bounds.report import full_report
+from repro.cli import main
+from repro.core.predicates import majority
+from repro.protocols.leaders import leader_unary_threshold
+
+
+class TestFullReport:
+    def test_threshold_report_sections(self, threshold4):
+        text = full_report(threshold4, counting(4), max_input=7)
+        for heading in (
+            "Structure",
+            "Verification",
+            "VERIFIED",
+            "Convergence classification",
+            "Linear invariants",
+            "Stable-set bases",
+            "Pumping certificates",
+            "Expected convergence time",
+        ):
+            assert heading in text, heading
+
+    def test_reports_failure(self, threshold4):
+        text = full_report(threshold4, counting(5), max_input=7)
+        assert "FAILS" in text
+
+    def test_without_predicate(self, threshold4):
+        text = full_report(threshold4, max_input=6)
+        assert "Verification" not in text
+        assert "Structure" in text
+
+    def test_leader_protocol_skips_section5(self):
+        protocol = leader_unary_threshold(2)
+        text = full_report(protocol, counting(2), max_input=5)
+        assert "Section 5 route: not applicable" in text
+        assert "Section 4 route: eta <=" in text
+
+    def test_multivariable_protocol(self):
+        protocol = majority_protocol()
+        text = full_report(protocol, majority(), max_input=6)
+        assert "multi-variable" in text
+        assert "VERIFIED" in text
+
+    def test_certified_bound_dominates_threshold(self, threshold4):
+        text = full_report(threshold4, counting(4), max_input=8)
+        assert "Section 4 route: eta <= 4" in text
+
+
+class TestAnalyzeCommand:
+    def test_cli_analyze(self, capsys):
+        assert main(["analyze", "binary:3", "x >= 3", "--max-input", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "VERIFIED" in out and "Pumping certificates" in out
+
+    def test_cli_analyze_without_predicate(self, capsys):
+        assert main(["analyze", "majority"]) == 0
+        assert "Structure" in capsys.readouterr().out

@@ -1,0 +1,128 @@
+"""Tests for the Lemma 5.3/5.4 saturation construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import binary_threshold, flat_threshold, leader_unary_threshold
+from repro.analysis.saturation import (
+    SaturationResult,
+    TripledSequence,
+    expanding_transition,
+    saturation_sequence,
+)
+from repro.core.errors import ProtocolError, SearchBudgetExceeded
+from repro.core.protocol import Transition
+from repro.protocols.builders import ProtocolBuilder
+
+
+class TestTripledSequence:
+    def test_length_closed_form(self):
+        t = Transition("a", "a", "a", "b")
+        seq = TripledSequence((t, t, t))
+        assert seq.length == (3**3 - 1) // 2
+
+    def test_length_with_plain_triplings(self):
+        t = Transition("a", "a", "a", "b")
+        assert TripledSequence((t, None)).length == 3
+        assert TripledSequence((None, t)).length == 1
+
+    def test_materialise_matches_length(self):
+        t = Transition("a", "a", "a", "b")
+        u = Transition("a", "b", "b", "b")
+        seq = TripledSequence((t, u))
+        materialised = seq.materialise()
+        assert len(materialised) == seq.length == 4
+        assert materialised == [t, t, t, u]
+
+    def test_materialise_budget(self):
+        t = Transition("a", "a", "a", "b")
+        seq = TripledSequence((t,) * 14)
+        with pytest.raises(SearchBudgetExceeded):
+            seq.materialise(budget=100)
+
+
+class TestExpandingTransition:
+    def test_finds_expansion(self, threshold4):
+        t = expanding_transition(threshold4, {"2^0"})
+        assert t is not None
+        assert {t.p, t.q} <= {"2^0"}
+        assert not {t.p2, t.q2} <= {"2^0"}
+
+    def test_none_when_closed(self, threshold4):
+        accept_support = {"2^2"}
+        # from accept alone, only accept is produced
+        t = expanding_transition(threshold4, accept_support)
+        assert t is None
+
+
+class TestSaturationSequence:
+    @pytest.mark.parametrize("eta", [2, 3, 4, 5, 6, 8, 12])
+    def test_lemma_5_4_binary(self, eta):
+        protocol = binary_threshold(eta)
+        result = saturation_sequence(protocol)
+        n = protocol.num_states
+        # the bounds of Lemma 5.4
+        assert result.input_size <= 3**n
+        assert result.sequence.length <= 3**n
+        assert result.saturation_level() >= 1
+        # and the construction is genuine: fire it
+        assert result.verify(protocol)
+
+    @pytest.mark.parametrize("eta", [2, 3, 4])
+    def test_lemma_5_4_flat(self, eta):
+        protocol = flat_threshold(eta)
+        result = saturation_sequence(protocol)
+        assert result.input_size <= 3**protocol.num_states
+        assert result.verify(protocol)
+
+    def test_sequence_length_formula(self, threshold4):
+        result = saturation_sequence(threshold4)
+        fired_rounds = sum(1 for s in result.sequence.steps if s is not None)
+        assert result.input_size == 3**result.rounds
+        assert result.sequence.length <= (3**result.rounds - 1) // 2
+
+    def test_leaders_rejected(self):
+        with pytest.raises(ProtocolError, match="leaderless"):
+            saturation_sequence(leader_unary_threshold(2))
+
+    def test_uncoverable_state_dropped(self):
+        """The paper's wlog: uncoverable states are removed first."""
+        protocol = (
+            ProtocolBuilder("dead-state")
+            .state("x", output=0)
+            .state("dead", output=1)
+            .rule("x", "x", "x", "x")
+            .input("x", "x")
+            .build()
+        )
+        assert protocol.coverable_states() == frozenset({"x"})
+        result = saturation_sequence(protocol)
+        assert result.configuration.supported_on({"x"})
+        assert result.verify(protocol)
+
+    def test_flat_threshold_2_zero_uncoverable(self):
+        """flat_threshold(2) never populates state 0; saturation works on
+        the coverable restriction {1, 2}."""
+        protocol = flat_threshold(2)
+        assert 0 not in protocol.coverable_states()
+        result = saturation_sequence(protocol)
+        assert set(result.configuration.support()) == {1, 2}
+
+    def test_trivial_single_state(self):
+        protocol = binary_threshold(1)  # one state
+        result = saturation_sequence(protocol)
+        assert result.saturation_level() >= 1
+        assert result.configuration.size >= 2
+        assert result.verify(protocol)
+
+    def test_scaling_preserves_reachability(self, threshold4):
+        """m * C_sat is reachable from IC(m * 3^j) by firing sigma^m."""
+        from repro.core.semantics import fire_sequence
+
+        result = saturation_sequence(threshold4)
+        sigma = result.sequence.materialise()
+        m = 3
+        initial = threshold4.initial_configuration(m * result.input_size)
+        final = fire_sequence(initial, sigma * m)
+        assert final == m * result.configuration

@@ -1,0 +1,86 @@
+"""Tests for stable configurations and slices (Definition 2, Lemma 3.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import binary_threshold
+from repro.analysis.stable import (
+    check_downward_closure,
+    is_stable,
+    stability_of,
+    stable_slice,
+)
+from repro.core.multiset import Multiset
+from repro.protocols.majority import majority_protocol
+
+
+class TestSingleConfigurationStability:
+    def test_all_accept_is_1_stable(self, threshold4):
+        assert stability_of(threshold4, Multiset({"2^2": 5})) == 1
+
+    def test_terminal_reject_is_0_stable(self, threshold4):
+        # distinct powers below the threshold, nothing can fire
+        assert stability_of(threshold4, Multiset({"2^1": 1, "2^0": 1, "zero": 1})) == 0
+
+    def test_transient_configuration_not_stable(self, threshold4):
+        # four units can still reach acceptance
+        assert stability_of(threshold4, Multiset({"2^0": 4})) is None
+
+    def test_is_stable_wrapper(self, threshold4):
+        assert is_stable(threshold4, Multiset({"2^2": 3}), 1)
+        assert not is_stable(threshold4, Multiset({"2^2": 3}), 0)
+
+    def test_non_consensus_not_stable(self, threshold4):
+        assert stability_of(threshold4, Multiset({"2^2": 1, "zero": 1})) is None
+
+
+class TestStableSlice:
+    def test_partition_sanity(self, threshold4):
+        sl = stable_slice(threshold4, 4)
+        assert sl.stable0 and sl.stable1
+        assert not (sl.stable0 & sl.stable1)
+        assert sl.stable == sl.stable0 | sl.stable1
+
+    def test_membership(self, threshold4):
+        sl = stable_slice(threshold4, 4)
+        assert sl.membership(Multiset({"2^2": 4})) == 1
+        assert sl.membership(Multiset({"2^0": 4})) is None
+
+    def test_matches_per_configuration_check(self, threshold4):
+        """The slice agrees with the direct forward-closure stability check."""
+        sl = stable_slice(threshold4, 4)
+        for config in sl.all_configs:
+            decoded = sl.decode(config)
+            expected = stability_of(threshold4, decoded)
+            assert sl.membership(decoded) == expected, decoded.pretty()
+
+    def test_stable_multisets_sorted_deterministic(self, threshold4):
+        sl = stable_slice(threshold4, 3)
+        listed = sl.stable_multisets(0)
+        assert listed == sl.stable_multisets(0)
+        assert all(m.size == 3 for m in listed)
+
+    def test_all_accept_always_stable(self, threshold4):
+        for size in (2, 3, 5):
+            sl = stable_slice(threshold4, size)
+            assert sl.membership(Multiset({"2^2": size})) == 1
+
+    def test_repr(self, threshold4):
+        assert "StableSlice" in repr(stable_slice(threshold4, 3))
+
+
+class TestLemma31DownwardClosure:
+    """Lemma 3.1: SC_b is downward closed."""
+
+    @pytest.mark.parametrize("b", [0, 1])
+    def test_threshold(self, threshold4, b):
+        assert check_downward_closure(threshold4, max_size=5, b=b) is None
+
+    @pytest.mark.parametrize("b", [0, 1])
+    def test_majority(self, b):
+        assert check_downward_closure(majority_protocol(), max_size=5, b=b) is None
+
+    @pytest.mark.parametrize("b", [0, 1])
+    def test_non_power_threshold(self, threshold5, b):
+        assert check_downward_closure(threshold5, max_size=5, b=b) is None

@@ -1,0 +1,118 @@
+"""Tests for the state equation and reachability refutation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import binary_threshold, majority_protocol
+from repro.core.multiset import Multiset
+from repro.core.semantics import displacement_of, fire_sequence, parikh, successors
+from repro.diophantine.pottier import solve_equalities_inhomogeneous
+from repro.reachability.graph import ReachabilityGraph
+from repro.reachability.state_equation import (
+    refute_reachability,
+    state_equation_solutions,
+    state_equation_solvable,
+    t_invariants,
+)
+
+
+class TestInhomogeneousSolver:
+    def test_simple_system(self):
+        # y1 - y2 = 1: minimal solution (1, 0); homogeneous (1, 1)
+        particular, homogeneous = solve_equalities_inhomogeneous([[1, -1]], [1])
+        assert particular == [(1, 0)]
+        assert homogeneous == [(1, 1)]
+
+    def test_unsolvable(self):
+        # 2 y = 1 has no natural solution
+        particular, homogeneous = solve_equalities_inhomogeneous([[2]], [1])
+        assert particular == []
+
+    def test_solutions_satisfy_system(self):
+        matrix = [[1, 2, -1], [0, 1, 1]]
+        rhs = [3, 2]
+        particular, homogeneous = solve_equalities_inhomogeneous(matrix, rhs)
+        for v in particular:
+            assert [sum(r * x for r, x in zip(row, v)) for row in matrix] == rhs
+        for v in homogeneous:
+            assert [sum(r * x for r, x in zip(row, v)) for row in matrix] == [0, 0]
+
+    def test_rhs_length_checked(self):
+        with pytest.raises(ValueError):
+            solve_equalities_inhomogeneous([[1, 2]], [1, 2])
+
+
+class TestStateEquation:
+    def test_fired_sequences_solve_it(self, threshold4):
+        config = threshold4.initial_configuration(5)
+        current = config
+        fired = []
+        for _ in range(3):
+            options = successors(threshold4, current)
+            if not options:
+                break
+            t, current = options[0]
+            fired.append(t)
+        minimal, homogeneous = state_equation_solutions(threshold4, config, current)
+        assert minimal  # solvable, as it must be (Lemma 5.1(i))
+        # the actual Parikh image decomposes as minimal + homogeneous
+        pi = parikh(fired)
+        assert displacement_of(pi) == current - config
+
+    def test_solvable_for_reachable_pairs(self, threshold4):
+        indexed = threshold4.indexed()
+        root = indexed.initial_counts(4)
+        graph = ReachabilityGraph.from_roots(threshold4, [root])
+        source = indexed.decode(root)
+        for node in sorted(graph.nodes)[:8]:
+            target = indexed.decode(node)
+            assert state_equation_solvable(threshold4, source, target), target.pretty()
+
+    def test_refutes_impossible_target(self, threshold4):
+        # four inputs can never become four agents in 2^1 (value 8 > 4)
+        source = Multiset({"2^0": 4})
+        target = Multiset({"2^1": 4})
+        assert not state_equation_solvable(threshold4, source, target)
+
+    def test_trivial_self_reachability(self, threshold4):
+        config = threshold4.initial_configuration(4)
+        assert state_equation_solvable(threshold4, config, config)
+
+
+class TestTInvariants:
+    def test_all_are_zero_displacement(self, threshold4):
+        for pi in t_invariants(threshold4):
+            assert displacement_of(pi).is_zero
+
+    def test_majority_has_follower_cycle(self):
+        """a,b -> b,b then A,b -> A,a is a Parikh-level cycle."""
+        protocol = majority_protocol()
+        invariants = t_invariants(protocol)
+        assert any(pi.size >= 2 for pi in invariants)
+
+
+class TestRefuteReachability:
+    def test_population_mismatch(self, threshold4):
+        reason = refute_reachability(
+            threshold4, Multiset({"2^0": 3}), Multiset({"2^0": 4})
+        )
+        assert reason is not None and "population" in reason
+
+    def test_invariant_separation(self):
+        protocol = majority_protocol()
+        reason = refute_reachability(
+            protocol, Multiset({"A": 1, "B": 1}), Multiset({"A": 2})
+        )
+        assert reason is not None and "invariant" in reason
+
+    def test_state_equation_refutation(self, threshold4):
+        reason = refute_reachability(
+            threshold4, Multiset({"2^0": 4}), Multiset({"2^1": 4})
+        )
+        assert reason is not None
+
+    def test_no_false_refutation_on_reachable(self, threshold4):
+        config = threshold4.initial_configuration(4)
+        (_, successor), *_ = successors(threshold4, config)
+        assert refute_reachability(threshold4, config, successor) is None

@@ -1,0 +1,74 @@
+"""Tests for protocol isomorphism and symmetry detection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import binary_threshold, flat_threshold, majority_protocol
+from repro.analysis.symmetry import are_isomorphic, automorphisms, canonical_key
+from repro.protocols.builders import ProtocolBuilder
+
+
+class TestIsomorphism:
+    def test_protocol_isomorphic_to_renaming(self, threshold4):
+        renamed = threshold4.renamed({"2^0": "unit", "zero": "ash"})
+        assert are_isomorphic(threshold4, renamed)
+
+    def test_reflexive(self, threshold4):
+        assert are_isomorphic(threshold4, threshold4)
+
+    def test_different_protocols(self):
+        assert not are_isomorphic(binary_threshold(4), binary_threshold(5))
+
+    def test_different_outputs_not_isomorphic(self, threshold4):
+        from repro.protocols.combinators import negation
+
+        assert not are_isomorphic(threshold4, negation(threshold4))
+
+    def test_different_state_counts(self):
+        assert not are_isomorphic(binary_threshold(4), flat_threshold(4))
+
+    def test_canonical_key_is_isomorphism_invariant(self, threshold4):
+        renamed = threshold4.renamed({"2^1": "pair", "2^2": "quad"})
+        assert canonical_key(threshold4) == canonical_key(renamed)
+
+    def test_too_many_states_guarded(self):
+        with pytest.raises(ValueError, match="too many"):
+            canonical_key(flat_threshold(9))
+
+    def test_enumeration_dedup_rate(self):
+        """At n = 2 a substantial fraction of the raw enumeration is
+        redundant up to isomorphism — the point of canonical keys."""
+        from repro.bounds.enumeration import all_deterministic_protocols
+
+        keys = {canonical_key(p) for p in all_deterministic_protocols(2)}
+        assert len(keys) < 216
+
+
+class TestAutomorphisms:
+    def test_identity_always_present(self, threshold4):
+        result = automorphisms(threshold4)
+        assert any(all(k == v for k, v in mapping.items()) for mapping in result)
+
+    def test_symmetric_protocol(self):
+        """Two interchangeable dead states yield a non-trivial symmetry."""
+        protocol = (
+            ProtocolBuilder("twins")
+            .state("x", output=0)
+            .state("a", output=1)
+            .state("b", output=1)
+            .rule("x", "x", "a", "b")
+            .input("v", "x")
+            .build()
+        )
+        result = automorphisms(protocol)
+        assert len(result) == 2  # identity + swap(a, b)
+
+    def test_asymmetric_protocol(self, threshold4):
+        assert len(automorphisms(threshold4)) == 1
+
+    def test_automorphisms_preserve_structure(self):
+        protocol = majority_protocol()
+        for mapping in automorphisms(protocol):
+            renamed = protocol.renamed(mapping)
+            assert are_isomorphic(protocol, renamed)

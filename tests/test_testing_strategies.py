@@ -1,0 +1,74 @@
+"""Tests for the public hypothesis-strategy module ``repro.testing``."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.multiset import Multiset
+from repro.core.protocol import PopulationProtocol
+from repro.testing import configurations, inputs_for, protocols
+
+
+class TestProtocolsStrategy:
+    @settings(max_examples=30)
+    @given(protocols())
+    def test_generates_valid_protocols(self, protocol):
+        assert isinstance(protocol, PopulationProtocol)
+        assert 2 <= protocol.num_states <= 3
+        assert protocol.is_complete
+        assert protocol.is_deterministic
+        assert protocol.is_leaderless
+        assert protocol.variables == ("x",)
+
+    @settings(max_examples=20)
+    @given(protocols(max_states=4))
+    def test_max_states_respected(self, protocol):
+        assert protocol.num_states <= 4
+
+    def test_invalid_max_states(self):
+        with pytest.raises(ValueError):
+            protocols(max_states=1)
+        with pytest.raises(ValueError):
+            protocols(max_states=99)
+
+
+class TestConfigurationsStrategy:
+    @settings(max_examples=30)
+    @given(configurations())
+    def test_generates_valid_configurations(self, configuration):
+        assert isinstance(configuration, Multiset)
+        assert configuration.is_natural
+        assert configuration.size >= 2
+
+
+class TestInputsForStrategy:
+    def test_inputs_valid_for_protocol(self):
+        from hypothesis import given as hgiven
+
+        from repro import binary_threshold
+
+        protocol = binary_threshold(3)
+
+        @hgiven(inputs_for(protocol))
+        @settings(max_examples=30)
+        def inner(inputs):
+            configuration = protocol.initial_configuration(inputs)
+            assert configuration.size >= 2
+
+        inner()
+
+    def test_inputs_valid_with_leaders(self):
+        from hypothesis import given as hgiven
+
+        from repro.protocols.leaders import leader_unary_threshold
+
+        protocol = leader_unary_threshold(2)
+
+        @hgiven(inputs_for(protocol))
+        @settings(max_examples=30)
+        def inner(inputs):
+            configuration = protocol.initial_configuration(inputs)
+            assert configuration.size >= 2
+
+        inner()

@@ -1,0 +1,91 @@
+"""Exhaustive verification of the general linear threshold protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import verify_protocol
+from repro.analysis.verification import verify_input
+from repro.core.multiset import Multiset
+from repro.protocols.threshold_linear import linear_threshold, linear_threshold_predicate
+
+
+class TestLinearThreshold:
+    @pytest.mark.parametrize(
+        "coefficients,constant",
+        [
+            ({"x": 1}, 1),
+            ({"x": 1}, 3),
+            ({"x": 1, "y": -1}, 1),   # strict majority
+            ({"x": 1, "y": -1}, 0),   # weak majority
+            ({"x": 2, "y": -1}, 0),
+            ({"x": 1, "y": 1}, 4),
+            ({"x": 1, "y": -2}, -1),
+            ({"x": 3, "y": -2}, 2),
+            ({"x": 0, "y": 1}, 2),    # zero coefficient
+        ],
+    )
+    def test_computes_predicate(self, coefficients, constant):
+        protocol = linear_threshold(coefficients, constant)
+        predicate = linear_threshold_predicate(coefficients, constant)
+        report = verify_protocol(protocol, predicate, max_input_size=6)
+        assert report.ok, report.counterexample
+
+    def test_state_count(self):
+        protocol = linear_threshold({"x": 1, "y": -1}, 1)
+        # s = 1: 3 collector values + 6 follower states
+        assert protocol.num_states == 9
+
+    def test_saturation_override(self):
+        protocol = linear_threshold({"x": 1}, 2, saturation=5)
+        report = verify_protocol(protocol, linear_threshold_predicate({"x": 1}, 2), max_input_size=6)
+        assert report.ok
+
+    def test_saturation_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            linear_threshold({"x": 3}, 1, saturation=2)
+
+    def test_empty_coefficients_rejected(self):
+        with pytest.raises(ValueError):
+            linear_threshold({}, 1)
+
+    def test_deterministic(self):
+        assert linear_threshold({"x": 1, "y": -1}, 1).is_deterministic
+
+    def test_agrees_with_four_state_majority(self):
+        """Two independent constructions of x > y must agree on every input."""
+        from repro.protocols.majority import majority_protocol
+
+        linear = linear_threshold({"x": 1, "y": -1}, 1)
+        classic = majority_protocol()
+        for x in range(0, 5):
+            for y in range(0, 5):
+                if x + y < 2:
+                    continue
+                inputs = Multiset({"x": x, "y": y})
+                expected = 1 if x > y else 0
+                assert verify_input(linear, inputs, expected) is None
+                assert verify_input(classic, inputs, expected) is None
+
+    def test_zero_total_boundary(self):
+        """The T = 0 boundary that breaks value-based follower schemes.
+
+        With coefficients {x: 1, y: -2} and input (x=2, y=1) the sum is
+        exactly 0; a construction without an explicit collector role
+        strands followers with stale verdict bits here (see the module
+        docstring's design note).
+        """
+        protocol = linear_threshold({"x": 1, "y": -2}, 1)
+        assert verify_input(protocol, Multiset({"x": 2, "y": 1}), expected=0) is None
+        protocol_accepting = linear_threshold({"x": 1, "y": -2}, 0)
+        assert verify_input(protocol_accepting, Multiset({"x": 2, "y": 1}), expected=1) is None
+
+    def test_collector_count_never_zero(self):
+        """Structural invariant: every transition consuming a collector
+        produces one, so collectors never die out."""
+        protocol = linear_threshold({"x": 1, "y": -1}, 0)
+        for t in protocol.transitions:
+            pre_collectors = sum(1 for st in (t.p, t.q) if st.startswith("L"))
+            post_collectors = sum(1 for st in (t.p2, t.q2) if st.startswith("L"))
+            if pre_collectors:
+                assert post_collectors >= 1

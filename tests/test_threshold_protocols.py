@@ -1,0 +1,136 @@
+"""Exhaustive verification of the threshold families (Example 2.1 and general).
+
+These tests are the machine-checked core of experiments E1 and E2: for
+every constructed protocol and every input up to a cutoff beyond the
+threshold, the exact bottom-SCC checker confirms the protocol computes
+``x >= eta``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import counting, verify_protocol
+from repro.protocols.threshold_binary import (
+    binary_state_count,
+    binary_threshold,
+    example_2_1_binary,
+)
+from repro.protocols.threshold_flat import example_2_1_flat, flat_threshold
+
+
+class TestFlatThreshold:
+    @pytest.mark.parametrize("eta", [1, 2, 3, 4, 5])
+    def test_computes_predicate(self, eta):
+        protocol = flat_threshold(eta)
+        report = verify_protocol(protocol, counting(eta), max_input_size=eta + 3)
+        assert report.ok, report.counterexample
+
+    @pytest.mark.parametrize("eta", [1, 2, 5, 9])
+    def test_state_count_is_eta_plus_one(self, eta):
+        assert flat_threshold(eta).num_states == eta + 1
+
+    def test_deterministic_and_complete(self):
+        protocol = flat_threshold(4)
+        assert protocol.is_deterministic
+        assert protocol.is_complete
+
+    def test_rejects_eta_zero(self):
+        with pytest.raises(ValueError):
+            flat_threshold(0)
+
+    def test_example_2_1_flat_states(self):
+        """The paper: P_k has 2^k + 1 states."""
+        for k in range(4):
+            assert example_2_1_flat(k).num_states == 2**k + 1
+
+    def test_example_2_1_flat_correct(self):
+        protocol = example_2_1_flat(2)
+        report = verify_protocol(protocol, counting(4), max_input_size=7)
+        assert report.ok
+
+    def test_wrong_threshold_caught(self):
+        """Sanity check of the checker: flat(3) does not compute x >= 4."""
+        report = verify_protocol(flat_threshold(3), counting(4), max_input_size=5)
+        assert not report.ok
+
+
+class TestBinaryThreshold:
+    @pytest.mark.parametrize("eta", list(range(1, 17)) + [20, 21])
+    def test_computes_predicate(self, eta):
+        protocol = binary_threshold(eta)
+        report = verify_protocol(protocol, counting(eta), max_input_size=min(eta + 4, 24))
+        assert report.ok, (eta, report.counterexample)
+
+    @pytest.mark.parametrize("eta", range(1, 40))
+    def test_state_count_formula(self, eta):
+        assert binary_threshold(eta).num_states == binary_state_count(eta)
+
+    @pytest.mark.parametrize("eta", range(2, 40))
+    def test_logarithmically_many_states(self, eta):
+        k = eta.bit_length() - 1
+        assert binary_state_count(eta) <= 2 * k + 3
+
+    def test_deterministic(self):
+        assert binary_threshold(13).is_deterministic
+
+    def test_rejects_eta_zero(self):
+        with pytest.raises(ValueError):
+            binary_threshold(0)
+
+    def test_trivial_threshold_single_state(self):
+        """x >= 1 is constantly true on populations, one state suffices."""
+        protocol = binary_threshold(1)
+        assert protocol.num_states == 1
+        report = verify_protocol(protocol, counting(1), max_input_size=5)
+        assert report.ok
+
+    def test_power_of_two_matches_example_2_1(self):
+        """For eta = 2^k the construction degenerates to P'_k."""
+        protocol = example_2_1_binary(3)
+        assert protocol.num_states == 3 + 2  # {zero, 2^0..2^3} = k + 2
+        report = verify_protocol(protocol, counting(8), max_input_size=12)
+        assert report.ok
+
+    def test_example_2_1_binary_state_set(self):
+        protocol = example_2_1_binary(2)
+        assert set(protocol.states) == {"2^0", "2^1", "2^2", "zero"}
+
+    def test_succinctness_gap(self):
+        """The Example 2.1 comparison: 2^k + 1 vs k + 2 states."""
+        for k in range(1, 6):
+            flat = example_2_1_flat(k)
+            binary = example_2_1_binary(k)
+            assert flat.num_states == 2**k + 1
+            assert binary.num_states == k + 2
+            assert binary.num_states < flat.num_states or k == 1
+
+    def test_collector_states_only_for_set_bits(self):
+        protocol = binary_threshold(11)  # 1011: collectors for bits 1 and 0
+        collectors = [s for s in protocol.states if s.startswith("c")]
+        assert sorted(collectors) == ["c0", "c1"]
+
+    @pytest.mark.parametrize("eta", [6, 10, 12])
+    def test_value_invariant_on_random_runs(self, eta):
+        """Total encoded value is invariant until acceptance fires."""
+        from repro.simulation import record_trace
+
+        protocol = binary_threshold(eta)
+        accept = protocol.states_with_output(1)[0]
+
+        def value(state):
+            if state == "zero":
+                return 0
+            if state.startswith("2^"):
+                return 2 ** int(state[2:])
+            if state.startswith("c"):
+                j = int(state[1:])
+                return (eta >> j) << j
+            raise AssertionError(state)
+
+        trace = record_trace(protocol, eta - 1, max_steps=3000, seed=7)
+        config = trace.initial
+        total = sum(value(s) * c for s, c in config.items())
+        final = trace.final_configuration()
+        assert accept not in final.support()
+        assert sum(value(s) * c for s, c in final.items()) == total

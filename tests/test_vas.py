@@ -1,0 +1,195 @@
+"""Tests for the Petri net / VAS subpackage."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import binary_threshold
+from repro.core.errors import ProtocolError, SearchBudgetExceeded, TransitionNotEnabled
+from repro.core.multiset import Multiset
+from repro.vas import (
+    OMEGA,
+    NetTransition,
+    PetriNet,
+    from_protocol,
+    is_bounded,
+    is_coverable,
+    is_p_invariant,
+    karp_miller,
+    marking_value,
+    p_invariants,
+    place_bounds,
+    reachable_markings,
+    t_invariants,
+)
+
+
+def producer_net() -> PetriNet:
+    """Unbounded: a token in `run` pumps tokens into `out` forever."""
+    return PetriNet(
+        places=("run", "out"),
+        transitions=(
+            NetTransition("produce", Multiset({"run": 1}), Multiset({"run": 1, "out": 1})),
+        ),
+        name="producer",
+    )
+
+
+def handshake_net() -> PetriNet:
+    """Bounded non-conservative net: a + b merge into c."""
+    return PetriNet(
+        places=("a", "b", "c"),
+        transitions=(
+            NetTransition("merge", Multiset({"a": 1, "b": 1}), Multiset({"c": 1})),
+        ),
+        name="handshake",
+    )
+
+
+class TestModel:
+    def test_transition_fire(self):
+        t = NetTransition("t", Multiset({"a": 2}), Multiset({"b": 1}))
+        assert t.fire(Multiset({"a": 3})) == Multiset({"a": 1, "b": 1})
+
+    def test_transition_not_enabled(self):
+        t = NetTransition("t", Multiset({"a": 2}), Multiset({"b": 1}))
+        with pytest.raises(TransitionNotEnabled):
+            t.fire(Multiset({"a": 1}))
+
+    def test_delta(self):
+        t = NetTransition("t", Multiset({"a": 1, "b": 1}), Multiset({"a": 2}))
+        assert t.delta == Multiset({"a": 1, "b": -1})
+
+    def test_negative_pre_rejected(self):
+        with pytest.raises(ProtocolError):
+            NetTransition("bad", Multiset({"a": -1}), Multiset())
+
+    def test_unknown_place_rejected(self):
+        with pytest.raises(ProtocolError):
+            PetriNet(
+                places=("a",),
+                transitions=(NetTransition("t", Multiset({"zzz": 1}), Multiset()),),
+            )
+
+    def test_duplicate_places_rejected(self):
+        with pytest.raises(ProtocolError):
+            PetriNet(places=("a", "a"), transitions=())
+
+    def test_conservativity(self):
+        assert not handshake_net().is_conservative
+        assert from_protocol(binary_threshold(4)).is_conservative
+
+    def test_ordinary(self):
+        assert handshake_net().is_ordinary
+        t = NetTransition("w", Multiset({"a": 2}), Multiset({"b": 1}))
+        assert not PetriNet(places=("a", "b"), transitions=(t,)).is_ordinary
+
+    def test_incidence_matrix(self):
+        net = handshake_net()
+        assert net.incidence_matrix() == [[-1], [-1], [1]]
+
+    def test_fire_sequence(self):
+        net = handshake_net()
+        final = net.fire_sequence(Multiset({"a": 2, "b": 2}), ["merge", "merge"])
+        assert final == Multiset({"c": 2})
+
+    def test_describe(self):
+        assert "handshake" in handshake_net().describe()
+
+
+class TestFromProtocol:
+    def test_shape(self, threshold4):
+        net = from_protocol(threshold4)
+        assert net.num_places == threshold4.num_states
+        assert net.num_transitions == threshold4.num_transitions
+
+    def test_semantics_agree(self, threshold4):
+        from repro.core.semantics import successors
+
+        net = from_protocol(threshold4)
+        config = threshold4.initial_configuration(5)
+        protocol_successors = {succ for _, succ in successors(threshold4, config)}
+        net_successors = {succ for _, succ in net.successors(config)}
+        assert protocol_successors == net_successors
+
+
+class TestReachability:
+    def test_bounded_exploration(self):
+        net = handshake_net()
+        markings = reachable_markings(net, Multiset({"a": 2, "b": 1}))
+        assert Multiset({"a": 1, "c": 1}) in markings
+        assert len(markings) == 2
+
+    def test_unbounded_net_hits_budget(self):
+        with pytest.raises(SearchBudgetExceeded):
+            reachable_markings(producer_net(), Multiset({"run": 1}), node_budget=50)
+
+    def test_karp_miller_detects_unboundedness(self):
+        net = producer_net()
+        assert not is_bounded(net, Multiset({"run": 1}))
+        bounds = place_bounds(net, Multiset({"run": 1}))
+        assert bounds["out"] == OMEGA
+        assert bounds["run"] == 1
+
+    def test_karp_miller_bounded_net(self):
+        net = handshake_net()
+        assert is_bounded(net, Multiset({"a": 3, "b": 3}))
+        bounds = place_bounds(net, Multiset({"a": 3, "b": 3}))
+        assert bounds["c"] == 3
+
+    def test_coverability(self):
+        net = producer_net()
+        assert is_coverable(net, Multiset({"run": 1}), Multiset({"out": 100}))
+        assert not is_coverable(net, Multiset({"out": 5}), Multiset({"run": 1}))
+
+    def test_protocol_net_coverability_matches(self, threshold4):
+        """The net-level KM agrees with the protocol-level one."""
+        from repro.reachability.coverability import is_coverable_from
+
+        net = from_protocol(threshold4)
+        indexed = threshold4.indexed()
+        accept = Multiset({"2^2": 1})
+        for i in (3, 4, 5):
+            initial = threshold4.initial_configuration(i)
+            net_answer = is_coverable(net, initial, accept)
+            protocol_answer = is_coverable_from(
+                threshold4, indexed.encode(initial), indexed.encode(accept)
+            )
+            assert net_answer == protocol_answer, i
+
+
+class TestInvariants:
+    def test_p_invariant_of_protocol_net(self, threshold4):
+        net = from_protocol(threshold4)
+        ones = {p: 1 for p in net.places}
+        assert is_p_invariant(net, ones)
+
+    def test_handshake_invariant(self):
+        net = handshake_net()
+        # a + c and b + c are both conserved
+        assert is_p_invariant(net, {"a": 1, "c": 1})
+        assert is_p_invariant(net, {"b": 1, "c": 1})
+        assert not is_p_invariant(net, {"a": 1})
+        basis = p_invariants(net)
+        assert len(basis) == 2
+
+    def test_marking_value_conserved(self):
+        net = handshake_net()
+        weights = {"a": 1, "c": 1}
+        before = Multiset({"a": 2, "b": 2})
+        after = net.fire_sequence(before, ["merge"])
+        assert marking_value(weights, before) == marking_value(weights, after)
+
+    def test_t_invariants_of_cycle(self):
+        net = PetriNet(
+            places=("a", "b"),
+            transitions=(
+                NetTransition("fwd", Multiset({"a": 1}), Multiset({"b": 1})),
+                NetTransition("back", Multiset({"b": 1}), Multiset({"a": 1})),
+            ),
+        )
+        invariants = t_invariants(net)
+        assert Multiset({"fwd": 1, "back": 1}) in invariants
+
+    def test_producer_has_no_t_invariant(self):
+        assert t_invariants(producer_net()) == []

@@ -1,0 +1,193 @@
+"""Tests for the WQO machinery: Dickson's lemma, controlled sequences, FGH."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import SearchBudgetExceeded, UnrepresentableNumber
+from repro.core.multiset import Multiset
+from repro.wqo.controlled import (
+    LinearControl,
+    greedy_bad_sequence,
+    max_bad_sequence_length,
+    vectors_of_norm_at_most,
+)
+from repro.wqo.dickson import (
+    first_chain_of_length,
+    first_ordered_pair,
+    is_bad,
+    is_good,
+    longest_nondecreasing_chain,
+)
+from repro.wqo.fgh import ackermann, fast_growing, fast_growing_omega, inverse_ackermann
+
+
+class TestDickson:
+    def test_ordered_pair_found(self):
+        assert first_ordered_pair([(2, 0), (0, 1), (1, 1)]) == (1, 2)
+
+    def test_bad_sequence_has_none(self):
+        assert first_ordered_pair([(0, 2), (1, 1), (2, 0)]) is None
+
+    def test_earliest_j_preferred(self):
+        # both (0,2) and (1,2) are ordered; j=2 with i=0 is earliest
+        assert first_ordered_pair([(1, 1), (1, 1)]) == (0, 1)
+
+    def test_good_bad(self):
+        assert is_good([(0, 0), (1, 1)])
+        assert is_bad([(0, 1), (1, 0)])
+
+    def test_multiset_vectors(self):
+        seq = [Multiset({"a": 1}), Multiset({"a": 1, "b": 1})]
+        assert first_ordered_pair(seq) == (0, 1)
+
+    def test_longest_chain(self):
+        seq = [(3, 0), (0, 1), (1, 1), (2, 2)]
+        chain = longest_nondecreasing_chain(seq)
+        assert chain == [1, 2, 3]
+
+    def test_chain_is_actually_nondecreasing(self):
+        seq = [(2, 1), (1, 2), (2, 2), (3, 3), (0, 0)]
+        chain = longest_nondecreasing_chain(seq)
+        for a, b in zip(chain, chain[1:]):
+            assert all(x <= y for x, y in zip(seq[a], seq[b]))
+
+    def test_empty_sequence(self):
+        assert longest_nondecreasing_chain([]) == []
+        assert first_ordered_pair([]) is None
+
+    def test_first_chain_of_length(self):
+        seq = [(1, 0), (0, 1), (1, 1), (2, 2)]
+        chain = first_chain_of_length(seq, 3)
+        assert chain is not None and len(chain) == 3
+
+    def test_first_chain_unavailable(self):
+        assert first_chain_of_length([(0, 1), (1, 0)], 2) is None
+
+    def test_first_chain_zero_length(self):
+        assert first_chain_of_length([], 0) == []
+
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3)), min_size=17, max_size=20))
+    def test_dickson_lemma_finite_form(self, seq):
+        """Any sequence of 17 vectors over {0..3}^2 has an ordered pair
+        (the largest antichain-ordered sequence in that grid is 16)."""
+        assert is_good(seq)
+
+    @given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=12))
+    def test_chain_length_consistent_with_goodness(self, seq):
+        chain = longest_nondecreasing_chain(seq)
+        if len(seq) >= 1:
+            assert len(chain) >= 1
+        assert is_good(seq) == (len(chain) >= 2)
+
+
+class TestControlled:
+    def test_linear_control(self):
+        control = LinearControl(delta=3)
+        assert control(0) == 3 and control(5) == 8
+
+    def test_vectors_of_norm(self):
+        vectors = list(vectors_of_norm_at_most(2, 2))
+        assert (0, 0) in vectors and (2, 0) in vectors and (1, 1) in vectors
+        assert len(vectors) == 6
+
+    def test_dimension_one_oracle(self):
+        """d = 1, f(i) = i + delta: maximal bad sequence descends from delta."""
+        for delta in (1, 2, 3, 4):
+            length = max_bad_sequence_length(1, LinearControl(delta))
+            assert length == delta + 1
+
+    def test_dimension_zero_edge(self):
+        # single empty vector () ; the second () would dominate it
+        assert max_bad_sequence_length(0, LinearControl(5)) == 1
+
+    def test_dimension_two_exceeds_dimension_one(self):
+        l1 = max_bad_sequence_length(1, LinearControl(1))
+        l2 = max_bad_sequence_length(2, LinearControl(1), node_budget=2_000_000)
+        assert l2 > l1
+
+    def test_budget_guard(self):
+        with pytest.raises(SearchBudgetExceeded):
+            max_bad_sequence_length(3, LinearControl(3), node_budget=50)
+
+    def test_greedy_sequence_is_bad_and_controlled(self):
+        control = LinearControl(2)
+        seq = greedy_bad_sequence(2, control, max_length=50)
+        assert is_bad(seq)
+        for i, v in enumerate(seq):
+            assert sum(v) <= control(i)
+
+    def test_greedy_is_lower_bound_for_exact(self):
+        control = LinearControl(2)
+        greedy = len(greedy_bad_sequence(1, control, max_length=50))
+        exact = max_bad_sequence_length(1, control)
+        assert greedy <= exact
+
+
+class TestFGH:
+    def test_level_zero(self):
+        assert fast_growing(0, 7) == 8
+
+    def test_level_one(self):
+        assert fast_growing(1, 5) == 11  # 2x + 1
+
+    def test_level_two(self):
+        # F_2(x) = 2^(x+1) (x+1) - 1
+        assert fast_growing(2, 2) == 23
+        assert fast_growing(2, 3) == 63
+
+    def test_level_three_small(self):
+        # F_3(1) = F_2(F_2(1)) = F_2(7) = 2^8 * 8 - 1 = 2047
+        assert fast_growing(3, 1) == 2047
+
+    def test_explodes_into_limit(self):
+        with pytest.raises(UnrepresentableNumber):
+            fast_growing(3, 5, limit=10**50)
+
+    def test_omega_diagonal(self):
+        assert fast_growing_omega(1) == fast_growing(1, 1)
+        assert fast_growing_omega(2) == fast_growing(2, 2)
+
+    def test_negative_arguments(self):
+        with pytest.raises(ValueError):
+            fast_growing(-1, 3)
+        with pytest.raises(ValueError):
+            fast_growing(2, -1)
+
+    def test_ackermann_table(self):
+        assert ackermann(0, 0) == 1
+        assert ackermann(1, 2) == 4
+        assert ackermann(2, 3) == 9
+        assert ackermann(3, 3) == 61
+
+    def test_ackermann_limit(self):
+        with pytest.raises(UnrepresentableNumber):
+            ackermann(4, 2, limit=10**30)
+
+    def test_ackermann_negative(self):
+        with pytest.raises(ValueError):
+            ackermann(-1, 0)
+
+    def test_inverse_ackermann_tiny(self):
+        assert inverse_ackermann(0) == 0
+        assert inverse_ackermann(ackermann(2, 2)) >= 1
+
+    def test_inverse_ackermann_is_tiny_for_everything(self):
+        """The paper's closing remark: alpha(eta) <= 3 for any feasible eta."""
+        assert inverse_ackermann(10**80) <= 3
+
+    @given(st.integers(0, 2), st.integers(0, 6))
+    def test_fgh_monotone(self, k, x):
+        limit = 10**3000
+        assert fast_growing(k, x + 1, limit=limit) > fast_growing(k, x, limit=limit)
+
+    def test_fgh_monotone_level_three(self):
+        # F_3 values explode immediately; only the first step is feasible
+        assert fast_growing(3, 1) > fast_growing(3, 0)
+
+    @given(st.integers(0, 1), st.integers(1, 5))
+    def test_fgh_levels_grow(self, k, x):
+        limit = 10**3000
+        assert fast_growing(k + 1, x, limit=limit) >= fast_growing(k, x, limit=limit)
