@@ -9,6 +9,7 @@ Usage (``python -m repro <command> ...``)::
     python -m repro describe binary:10
     python -m repro verify binary:10 "x >= 10" --max-input 14
     python -m repro simulate majority --input x=60,y=40 --seed 1
+    python -m repro conformance majority
     python -m repro certify binary:4 --section 4
     python -m repro dot binary:8
 
@@ -44,7 +45,7 @@ from .protocols import (
     modulo_protocol,
 )
 from .protocols.leader_election import leader_election
-from .simulation import CountScheduler
+from .simulation import CountScheduler, check_conformance
 
 __all__ = ["main", "resolve_protocol"]
 
@@ -148,6 +149,41 @@ def _cmd_simulate(args) -> int:
     return 0 if result.converged else 2
 
 
+def _default_conformance_input(protocol) -> Multiset:
+    """A small non-trivial input when the user does not supply one."""
+    variables = list(protocol.input_mapping)
+    if not variables:
+        raise SystemExit("error: protocol has no input variables")
+    if len(variables) == 1:
+        return Multiset({variables[0]: 8})
+    # uneven counts so that majority-style predicates are decided
+    counts = [5, 3] + [2] * (len(variables) - 2)
+    return Multiset(dict(zip(variables, counts)))
+
+
+def _cmd_conformance(args) -> int:
+    if args.samples < 1:
+        raise SystemExit(f"error: --samples must be >= 1, got {args.samples}")
+    protocol = resolve_protocol(args.protocol)
+    inputs = _parse_input(args.input) if args.input else _default_conformance_input(protocol)
+    report = check_conformance(
+        protocol,
+        inputs,
+        samples=args.samples,
+        trajectory_seeds=tuple(range(args.trajectory_seeds)),
+        matched_seeds=tuple(range(args.trajectory_seeds)),
+        max_steps=args.max_steps,
+        seed=args.seed,
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
 def _cmd_certify(args) -> int:
     protocol = resolve_protocol(args.protocol)
     if args.section == 5:
@@ -211,6 +247,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=None)
     p.add_argument("--max-steps", type=int, default=1_000_000)
     p.set_defaults(handler=_cmd_simulate)
+
+    p = sub.add_parser(
+        "conformance",
+        help="cross-check all simulators against the analytic one-step semantics",
+    )
+    p.add_argument("protocol")
+    p.add_argument("--input", default=None, help='"x=60,y=40" or a bare count (default: small input)')
+    p.add_argument("--samples", type=int, default=2000, help="first-step samples per scheduler")
+    p.add_argument("--trajectory-seeds", type=int, default=3, help="seeded differential sweeps")
+    p.add_argument("--max-steps", type=int, default=200_000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true", help="emit the machine-readable report")
+    p.set_defaults(handler=_cmd_conformance)
 
     p = sub.add_parser("certify", help="produce a checked eta <= a pumping certificate")
     p.add_argument("protocol")

@@ -1,9 +1,20 @@
 """Stochastic simulation: exact schedulers, batched leaps, convergence stats."""
 
+from .conformance import (
+    ChiSquaredResult,
+    ConformanceReport,
+    MatchedSeedCheck,
+    TrajectoryCheck,
+    analytic_delta_distribution,
+    analytic_pair_distribution,
+    check_conformance,
+    chi_squared_sf,
+)
 from .ensembles import EnsembleResult, run_ensemble
 from .convergence import ConvergenceStats, convergence_scaling, fit_nlogn, measure_convergence
 from .fast import BatchScheduler
 from .faults import Fault, FaultyRunResult, corrupt, crash, run_with_faults
+from .instrumentation import Instrumentation, InstrumentationSnapshot
 from .scheduler import AgentListScheduler, CountScheduler, SimulationResult, StepOutcome
 from .statistics import TimeSeries, record_time_series
 from .trace import Trace, TraceEvent, record_trace
@@ -30,4 +41,14 @@ __all__ = [
     "FaultyRunResult",
     "EnsembleResult",
     "run_ensemble",
+    "Instrumentation",
+    "InstrumentationSnapshot",
+    "ChiSquaredResult",
+    "ConformanceReport",
+    "MatchedSeedCheck",
+    "TrajectoryCheck",
+    "analytic_pair_distribution",
+    "analytic_delta_distribution",
+    "check_conformance",
+    "chi_squared_sf",
 ]

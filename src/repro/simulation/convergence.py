@@ -58,12 +58,12 @@ def measure_convergence(
     """
     times: List[float] = []
     converged = True
-    population = 0
+    population = protocol.initial_configuration(inputs).size
     for trial in range(trials):
+        # run() resets the scheduler itself; no separate reset needed
         scheduler = CountScheduler(protocol, seed=seed + trial)
-        scheduler.reset(inputs)
-        population = scheduler.population
         result = scheduler.run(inputs, max_steps=max_steps_factor * population)
+        population = result.population
         times.append(result.parallel_time)
         converged = converged and result.converged
     return ConvergenceStats(

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..core.protocol import PopulationProtocol
+from .instrumentation import Instrumentation, InstrumentationSnapshot
 from .scheduler import CountScheduler
 
 __all__ = ["EnsembleResult", "run_ensemble"]
@@ -31,12 +32,18 @@ __all__ = ["EnsembleResult", "run_ensemble"]
 
 @dataclass(frozen=True)
 class EnsembleResult:
-    """Aggregated outcome of an ensemble of seeded runs."""
+    """Aggregated outcome of an ensemble of seeded runs.
+
+    ``instrumentation`` sums the per-run counters and timers over the
+    whole ensemble (total interactions simulated, total silent checks,
+    total wall-clock in the run loops).
+    """
 
     trials: int
     converged: int
     verdicts: Dict[Optional[int], int]
     parallel_times: Tuple[float, ...]
+    instrumentation: Optional[InstrumentationSnapshot] = None
 
     @property
     def convergence_rate(self) -> float:
@@ -102,19 +109,24 @@ def run_ensemble(
     verdicts: Dict[Optional[int], int] = {}
     times: List[float] = []
     converged = 0
+    aggregate = Instrumentation()
+    population = protocol.initial_configuration(inputs).size
+    budget = int(max_parallel_time * population)
     for trial in range(trials):
         scheduler = CountScheduler(protocol, seed=seed + trial)
-        scheduler.reset(inputs)
-        budget = int(max_parallel_time * scheduler.population)
         result = scheduler.run(inputs, max_steps=budget)
         verdict = protocol.output_of(result.configuration)
         verdicts[verdict] = verdicts.get(verdict, 0) + 1
         if result.converged:
             converged += 1
             times.append(result.parallel_time)
+        if result.instrumentation is not None:
+            aggregate.merge(result.instrumentation)
+    aggregate.add("runs", trials)
     return EnsembleResult(
         trials=trials,
         converged=converged,
         verdicts=verdicts,
         parallel_times=tuple(times),
+        instrumentation=aggregate.snapshot(),
     )

@@ -38,7 +38,8 @@ import numpy as np
 
 from ..core.errors import ProtocolError
 from ..core.multiset import Multiset
-from ..core.protocol import PopulationProtocol
+from ..core.protocol import PopulationProtocol, _pair
+from .instrumentation import Instrumentation
 from .scheduler import SimulationResult, _is_silent_consensus
 
 __all__ = ["BatchScheduler"]
@@ -60,6 +61,7 @@ class BatchScheduler:
         self.epsilon = epsilon
         self.rng = np.random.default_rng(seed)
         self.counts = np.zeros(self.indexed.n, dtype=np.int64)
+        self.instrumentation = Instrumentation()
 
         # Precompute, per unordered state pair with at least one
         # non-identity transition, the list of outcome displacement
@@ -80,6 +82,7 @@ class BatchScheduler:
     def reset(self, inputs: Union[int, Mapping, Multiset]) -> None:
         """Initialise the population to ``IC(inputs)``."""
         self.counts = np.array(self.indexed.initial_counts(inputs), dtype=np.int64)
+        self.instrumentation.clear()
 
     @property
     def population(self) -> int:
@@ -104,6 +107,53 @@ class BatchScheduler:
                 weights[index] = 2.0 * float(c[i]) * float(c[j])
         return weights
 
+    def pair_distribution(self):
+        """The one-step pair distribution the next leap will sample from.
+
+        Returns ``(keys, probabilities, inert)``: the registered
+        unordered state pairs, their meeting probabilities in the
+        current configuration, and the probability mass of inert pairs
+        (pairs with no registered transition).  Exposed so that the
+        conformance harness can compare the leap distribution against
+        the analytic one-step semantics.
+        """
+        n = self.population
+        if n < 2:
+            raise ProtocolError("population must have at least two agents")
+        states = self.indexed.states
+        keys = [_pair(states[i], states[j]) for i, j in self._pair_keys]
+        probabilities = self._pair_weights() / (float(n) * float(n - 1))
+        inert = max(0.0, 1.0 - float(probabilities.sum()))
+        return keys, probabilities, inert
+
+    def _exact_step(self) -> int:
+        """One exact interaction sampled from *enabled* pairs only.
+
+        Fallback for a rejected single-interaction leap: integer pair
+        weights make enabled-pair sampling exact, and one firing of an
+        enabled transition can never drive a count negative.  Inert
+        meetings (no registered transition) still consume the
+        interaction, preserving the pair distribution.
+        """
+        c = self.counts
+        n = int(c.sum())
+        weights = [
+            int(c[i]) * (int(c[i]) - 1) if i == j else 2 * int(c[i]) * int(c[j])
+            for i, j in self._pair_keys
+        ]
+        pick = int(self.rng.integers(n * (n - 1)))
+        for index, weight in enumerate(weights):
+            if pick < weight:
+                outcomes = self._pair_outcomes[index]
+                if len(outcomes) == 1:
+                    outcome = outcomes[0]
+                else:
+                    outcome = outcomes[int(self.rng.integers(len(outcomes)))]
+                self.counts = c + outcome
+                return 1
+            pick -= weight
+        return 1  # inert pair met: the interaction happened, nothing changed
+
     def leap(self, interactions: int) -> int:
         """Advance by up to ``interactions`` interactions in one leap.
 
@@ -116,6 +166,7 @@ class BatchScheduler:
             raise ProtocolError("population must have at least two agents")
         if interactions <= 0:
             return 0
+        self.instrumentation.add("leap_calls")
         weights = self._pair_weights()
         total_pairs = float(n) * float(n - 1)
         inert = total_pairs - weights.sum()  # pairs with no registered transition
@@ -137,11 +188,21 @@ class BatchScheduler:
 
         updated = self.counts + delta
         if (updated < 0).any():
+            self.instrumentation.add("leap_rejections")
             if interactions == 1:
-                return 0  # cannot happen: single steps sample only enabled pairs
+                # A rejected single-interaction leap must still advance
+                # (returning 0 here would loop `run` forever); fall back
+                # to an exact step over enabled pairs.
+                self.instrumentation.add("leap_fallbacks")
+                done = self._exact_step()
+                self.instrumentation.add("leap_interactions", done)
+                return done
+            # halve and retry; the recursive calls do their own accounting
+            self.instrumentation.add("leap_halvings")
             done = self.leap(interactions // 2)
             return done + self.leap(interactions - interactions // 2)
         self.counts = updated
+        self.instrumentation.add("leap_interactions", interactions)
         return interactions
 
     def run(
@@ -157,21 +218,26 @@ class BatchScheduler:
         budget = int(max_parallel_time * n)
         interactions = 0
         converged = False
-        while interactions < budget:
-            if stop_on_silent_consensus and _is_silent_consensus(
-                self.protocol, self.configuration
-            ):
-                converged = True
-                break
-            interactions += self.leap(min(leap_size, budget - interactions))
-        else:
-            if stop_on_silent_consensus and _is_silent_consensus(
-                self.protocol, self.configuration
-            ):
-                converged = True
+        silent_checks = 0
+        with self.instrumentation.phase("run"):
+            while interactions < budget:
+                if stop_on_silent_consensus:
+                    silent_checks += 1
+                    if _is_silent_consensus(self.protocol, self.configuration):
+                        converged = True
+                        break
+                interactions += self.leap(min(leap_size, budget - interactions))
+            else:
+                if stop_on_silent_consensus:
+                    silent_checks += 1
+                    if _is_silent_consensus(self.protocol, self.configuration):
+                        converged = True
+        self.instrumentation.add("interactions", interactions)
+        self.instrumentation.add("silent_checks", silent_checks)
         return SimulationResult(
             interactions=interactions,
             population=n,
             configuration=self.configuration,
             converged=converged,
+            instrumentation=self.instrumentation.snapshot(),
         )

@@ -32,6 +32,7 @@ from typing import Hashable, List, Optional, Sequence, Tuple, Union
 from ..core.errors import ProtocolError
 from ..core.multiset import Multiset
 from ..core.protocol import PopulationProtocol
+from .instrumentation import Instrumentation, InstrumentationSnapshot
 from .scheduler import CountScheduler, _is_silent_consensus
 
 __all__ = ["Fault", "crash", "corrupt", "FaultyRunResult", "run_with_faults"]
@@ -71,6 +72,10 @@ class Fault:
             raise ValueError("corruption faults need a target_state")
         if self.count < 1:
             raise ValueError("fault count must be >= 1")
+        if self.at_interaction < 0:
+            raise ValueError(
+                f"fault schedule must be non-negative, got at_interaction={self.at_interaction}"
+            )
 
 
 def crash(at_interaction: int, count: int = 1, state: Optional[State] = None) -> Fault:
@@ -96,7 +101,15 @@ def corrupt(
 
 @dataclass
 class FaultyRunResult:
-    """Outcome of a fault-injected run."""
+    """Outcome of a fault-injected run.
+
+    ``faults_skipped`` counts scheduled :class:`Fault` objects that
+    never affected any agent — either no victim was ever available
+    (e.g. a state-restricted fault on an empty state) or the fault was
+    scheduled beyond the step budget.  ``instrumentation`` carries the
+    run counters (interactions, silent checks, no-op interactions
+    fast-forwarded over after stabilisation).
+    """
 
     configuration: Multiset
     interactions: int
@@ -104,6 +117,8 @@ class FaultyRunResult:
     faults_applied: int
     survivors: int
     verdict: Optional[int]
+    faults_skipped: int = 0
+    instrumentation: Optional["InstrumentationSnapshot"] = None
 
 
 def _pick_state(configuration: Multiset, restrict: Optional[State], rng: random.Random) -> Optional[State]:
@@ -142,14 +157,18 @@ def run_with_faults(
     scheduler.reset(inputs)
     rng = random.Random(None if seed is None else seed + 7919)
     pending = sorted(faults, key=lambda f: f.at_interaction)
+    instrumentation = Instrumentation()
     applied = 0
+    skipped = 0
     interactions = 0
     converged = False
     index = protocol.indexed().index
 
-    while interactions < max_steps:
+    def apply_due_faults() -> None:
+        nonlocal applied, skipped
         while pending and pending[0].at_interaction <= interactions:
             fault = pending.pop(0)
+            affected = 0
             for _ in range(fault.count):
                 configuration = scheduler.configuration
                 victim = _pick_state(configuration, fault.state, rng)
@@ -163,12 +182,40 @@ def run_with_faults(
                     scheduler.counts[index[victim]] -= 1
                     scheduler.counts[index[fault.target_state]] += 1
                 applied += 1
-        if not pending and _is_silent_consensus(protocol, scheduler.configuration):
-            converged = True
-            break
-        scheduler.step()
-        interactions += 1
+                affected += 1
+            if affected == 0:
+                skipped += 1
 
+    with instrumentation.phase("run"):
+        while interactions < max_steps:
+            apply_due_faults()
+            instrumentation.add("silent_checks")
+            if _is_silent_consensus(protocol, scheduler.configuration):
+                if not pending:
+                    converged = True
+                    break
+                # The configuration is silent but faults are still
+                # scheduled: stepping would only burn no-op interactions
+                # until the next fault fires.  Fast-forward the
+                # interaction clock to it and apply it directly.
+                next_at = pending[0].at_interaction
+                if next_at >= max_steps:
+                    # the remaining faults lie beyond the budget: they are
+                    # skipped, and the population *did* reach silent consensus
+                    converged = True
+                    break
+                instrumentation.add(
+                    "fast_forwarded_interactions", max(0, next_at - interactions)
+                )
+                interactions = max(interactions, next_at)
+                continue
+            scheduler.step()
+            interactions += 1
+
+    skipped += len(pending)
+    instrumentation.add("interactions", interactions)
+    instrumentation.add("faults_applied", applied)
+    instrumentation.add("faults_skipped", skipped)
     final = scheduler.configuration
     return FaultyRunResult(
         configuration=final,
@@ -177,4 +224,6 @@ def run_with_faults(
         faults_applied=applied,
         survivors=final.size,
         verdict=protocol.output_of(final),
+        faults_skipped=skipped,
+        instrumentation=instrumentation.snapshot(),
     )

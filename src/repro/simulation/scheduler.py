@@ -32,6 +32,7 @@ from typing import Dict, Hashable, List, Mapping, Optional, Tuple, Union
 from ..core.errors import ProtocolError
 from ..core.multiset import Multiset
 from ..core.protocol import IndexedProtocol, PopulationProtocol
+from .instrumentation import Instrumentation, InstrumentationSnapshot
 
 __all__ = ["StepOutcome", "AgentListScheduler", "CountScheduler", "SimulationResult"]
 
@@ -61,12 +62,17 @@ class SimulationResult:
         Final configuration (multiset over states).
     converged:
         Whether the stop condition was met (vs the step budget).
+    instrumentation:
+        Counters and phase timers recorded during the run (steps,
+        silent-consensus checks, leap statistics for the batch
+        scheduler); ``None`` for results built outside the run loops.
     """
 
     interactions: int
     population: int
     configuration: Multiset
     converged: bool
+    instrumentation: Optional[InstrumentationSnapshot] = None
 
     @property
     def parallel_time(self) -> float:
@@ -101,12 +107,14 @@ class AgentListScheduler:
         self.table = _TransitionTable(protocol)
         self.rng = random.Random(seed)
         self.agents: List[State] = []
+        self.instrumentation = Instrumentation()
 
     def reset(self, inputs: Union[int, Mapping, Multiset]) -> None:
         """Initialise the population to ``IC(inputs)``."""
         configuration = self.protocol.initial_configuration(inputs)
         self.agents = list(configuration.elements())
         self.rng.shuffle(self.agents)
+        self.instrumentation.clear()
 
     @property
     def configuration(self) -> Multiset:
@@ -141,10 +149,12 @@ class CountScheduler:
         self.table = _TransitionTable(protocol)
         self.rng = random.Random(seed)
         self.counts: List[int] = [0] * self.indexed.n
+        self.instrumentation = Instrumentation()
 
     def reset(self, inputs: Union[int, Mapping, Multiset]) -> None:
         """Initialise the population to ``IC(inputs)``."""
         self.counts = list(self.indexed.initial_counts(inputs))
+        self.instrumentation.clear()
 
     @property
     def configuration(self) -> Multiset:
@@ -218,21 +228,30 @@ def _run_loop(scheduler, max_steps: int, stop_on_silent_consensus: bool) -> Simu
         scheduler.population if isinstance(scheduler, CountScheduler) else len(scheduler.agents)
     )
     check_every = max(1, population)  # silence checks are O(|T|); amortise
+    instrumentation = scheduler.instrumentation
+    silent_checks = 0
     interactions = 0
     converged = False
-    while interactions < max_steps:
-        if stop_on_silent_consensus and interactions % check_every == 0:
-            if _is_silent_consensus(protocol, scheduler.configuration):
-                converged = True
-                break
-        scheduler.step()
-        interactions += 1
-    else:
-        if stop_on_silent_consensus and _is_silent_consensus(protocol, scheduler.configuration):
-            converged = True
+    with instrumentation.phase("run"):
+        while interactions < max_steps:
+            if stop_on_silent_consensus and interactions % check_every == 0:
+                silent_checks += 1
+                if _is_silent_consensus(protocol, scheduler.configuration):
+                    converged = True
+                    break
+            scheduler.step()
+            interactions += 1
+        else:
+            if stop_on_silent_consensus:
+                silent_checks += 1
+                if _is_silent_consensus(protocol, scheduler.configuration):
+                    converged = True
+    instrumentation.add("interactions", interactions)
+    instrumentation.add("silent_checks", silent_checks)
     return SimulationResult(
         interactions=interactions,
         population=population,
         configuration=scheduler.configuration,
         converged=converged,
+        instrumentation=instrumentation.snapshot(),
     )

@@ -13,6 +13,16 @@ from repro import (
     modulo_protocol,
 )
 
+def pytest_configure(config):
+    # Registered in pyproject.toml too; kept here so ad-hoc invocations
+    # that bypass the ini file (e.g. pytest -p no:cacheprovider -c /dev/null)
+    # still know the marker.
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running conformance sweeps (deselected by default; run with `pytest -m slow`)",
+    )
+
+
 # Keep hypothesis deterministic-ish and fast in CI-like runs.
 settings.register_profile(
     "repro",

@@ -105,3 +105,24 @@ class TestCommands:
         assert main(["compile", "x >= 2"]) == 0
         out = capsys.readouterr().out
         assert '"format": 1' in out
+
+    def test_conformance_passes(self, capsys):
+        code = main(["conformance", "majority", "--samples", "500"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "overall: PASS" in out
+        assert "agent-list" in out and "count" in out and "batch" in out
+
+    def test_conformance_rejects_zero_samples(self):
+        # regression: samples=0 used to render a vacuous all-ok report
+        # with dof = -1 instead of failing fast
+        with pytest.raises(SystemExit):
+            main(["conformance", "majority", "--samples", "0"])
+
+    def test_conformance_json(self, capsys):
+        code = main(["conformance", "binary:4", "--input", "6", "--samples", "400", "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["ok"] is True
+        assert {r["scheduler"] for r in payload["first_step"]} == {"agent-list", "count", "batch"}

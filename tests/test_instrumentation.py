@@ -1,0 +1,94 @@
+"""Tests for the simulation instrumentation layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation import (
+    BatchScheduler,
+    CountScheduler,
+    Instrumentation,
+    run_ensemble,
+    run_with_faults,
+)
+from repro.simulation.faults import crash
+
+
+class TestInstrumentation:
+    def test_counters_accumulate(self):
+        inst = Instrumentation()
+        inst.add("steps")
+        inst.add("steps", 4)
+        assert inst.snapshot().counter("steps") == 5
+        assert inst.snapshot().counter("missing") == 0
+
+    def test_phase_timers_accumulate(self):
+        inst = Instrumentation()
+        with inst.phase("work"):
+            pass
+        with inst.phase("work"):
+            pass
+        snapshot = inst.snapshot()
+        assert snapshot.timers["work"] >= 0.0
+
+    def test_clear(self):
+        inst = Instrumentation()
+        inst.add("steps", 3)
+        inst.clear()
+        assert inst.snapshot().counter("steps") == 0
+
+    def test_merge(self):
+        a, b = Instrumentation(), Instrumentation()
+        a.add("steps", 2)
+        b.add("steps", 3)
+        b.add("leaps", 1)
+        a.merge(b.snapshot())
+        snapshot = a.snapshot()
+        assert snapshot.counter("steps") == 5
+        assert snapshot.counter("leaps") == 1
+
+    def test_snapshot_is_immutable_copy(self):
+        inst = Instrumentation()
+        inst.add("steps")
+        snapshot = inst.snapshot()
+        inst.add("steps", 10)
+        assert snapshot.counter("steps") == 1
+        assert snapshot.as_dict() == {"counters": {"steps": 1}, "timers": {}}
+
+
+class TestSchedulerInstrumentation:
+    def test_count_run_reports_interactions(self, threshold4):
+        result = CountScheduler(threshold4, seed=0).run(6, max_steps=50_000)
+        snapshot = result.instrumentation
+        assert snapshot is not None
+        assert snapshot.counter("interactions") == result.interactions
+        assert snapshot.counter("silent_checks") >= 1
+        assert snapshot.timers["run"] >= 0.0
+
+    def test_reset_clears_counters(self, threshold4):
+        scheduler = CountScheduler(threshold4, seed=0)
+        scheduler.run(6, max_steps=50_000)
+        scheduler.reset(6)
+        assert scheduler.instrumentation.snapshot().counter("interactions") == 0
+
+    def test_batch_run_reports_leaps(self, threshold4):
+        result = BatchScheduler(threshold4, seed=1).run(1000, max_parallel_time=5000)
+        snapshot = result.instrumentation
+        assert snapshot is not None
+        assert snapshot.counter("leap_calls") >= 1
+        assert snapshot.counter("leap_interactions") == result.interactions
+        assert snapshot.counter("interactions") == result.interactions
+
+    def test_ensemble_aggregates(self, threshold4):
+        result = run_ensemble(threshold4, 6, trials=5, max_parallel_time=500, seed=1)
+        snapshot = result.instrumentation
+        assert snapshot is not None
+        assert snapshot.counter("runs") == 5
+        assert snapshot.counter("interactions") > 0
+
+    def test_fault_run_reports_counters(self, threshold4):
+        result = run_with_faults(threshold4, 8, [crash(0, count=2)], seed=1)
+        snapshot = result.instrumentation
+        assert snapshot is not None
+        assert snapshot.counter("interactions") == result.interactions
+        assert snapshot.counter("faults_applied") == result.faults_applied

@@ -143,6 +143,64 @@ class TestBatchScheduler:
         scheduler.reset(100)
         assert scheduler.leap(0) == 0
 
+    def test_leap_advances_exactly_requested(self, threshold4):
+        # with the exact-step fallback, a leap can never under-deliver
+        scheduler = BatchScheduler(threshold4, seed=7)
+        scheduler.reset(50)
+        for requested in (1, 3, 10, 25):
+            assert scheduler.leap(requested) == requested
+
+    def test_rejected_single_step_still_advances(self, threshold4):
+        """Regression: a rejected single-interaction leap returned 0,
+        which would loop ``run`` forever; it must fall back to an exact
+        step over enabled pairs instead."""
+
+        class _RiggedRng:
+            """Delegates to the real generator except for one rigged
+            multinomial draw that drives a count negative."""
+
+            def __init__(self, real, rigged_sample):
+                self._real = real
+                self._rigged = rigged_sample
+
+            def multinomial(self, n, probabilities):
+                if self._rigged is not None:
+                    sample, self._rigged = self._rigged, None
+                    return sample
+                return self._real.multinomial(n, probabilities)
+
+            def __getattr__(self, name):
+                return getattr(self._real, name)
+
+        import numpy as np
+
+        scheduler = BatchScheduler(threshold4, seed=0)
+        scheduler.reset(10)
+        # initially only 2^0 is populated: hit a disabled pair whose net
+        # displacement pushes an empty state's count negative
+        empty_pair = next(
+            index
+            for index, outcomes in enumerate(scheduler._pair_outcomes)
+            if any((scheduler.counts + outcome < 0).any() for outcome in outcomes)
+        )
+        rigged = np.zeros(len(scheduler._pair_keys) + 1, dtype=np.int64)
+        rigged[empty_pair] = 1
+        scheduler.rng = _RiggedRng(scheduler.rng, rigged)
+
+        advanced = scheduler.leap(1)
+        assert advanced == 1
+        assert scheduler.population == 10
+        assert (scheduler.counts >= 0).all()
+        snapshot = scheduler.instrumentation.snapshot()
+        assert snapshot.counter("leap_rejections") == 1
+        assert snapshot.counter("leap_fallbacks") == 1
+
+    def test_run_result_carries_leap_counters(self, threshold4):
+        result = BatchScheduler(threshold4, seed=1).run(500, max_parallel_time=5000)
+        assert result.converged
+        assert result.instrumentation.counter("leap_calls") >= 1
+        assert result.instrumentation.counter("leap_interactions") == result.interactions
+
 
 class TestConvergence:
     def test_measure_basic(self, threshold4):

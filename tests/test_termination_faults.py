@@ -92,6 +92,14 @@ class TestFaultValidation:
         with pytest.raises(ValueError):
             crash(0, count=0)
 
+    def test_negative_schedule_rejected(self):
+        # regression: a negative at_interaction used to be accepted and
+        # silently fire at step 0
+        with pytest.raises(ValueError):
+            crash(-1)
+        with pytest.raises(ValueError):
+            corrupt(-5, target_state="q")
+
 
 class TestFaultInjection:
     def test_crash_reduces_population(self, threshold4):
@@ -136,3 +144,55 @@ class TestFaultInjection:
         faulty = run_with_faults(threshold4, 6, [], seed=9, max_steps=100_000)
         plain = CountScheduler(threshold4, seed=9).run(6, max_steps=100_000)
         assert faulty.verdict == threshold4.output_of(plain.configuration)
+
+
+class TestFaultFastForward:
+    """Regression: a fault scheduled after stabilisation used to make the
+    loop burn no-op interactions all the way to ``max_steps`` and then
+    report ``converged=False``."""
+
+    def test_post_convergence_fault_completes_quickly(self, threshold4):
+        fault_at = 50_000
+        result = run_with_faults(
+            threshold4, 8, [crash(fault_at, count=3)], seed=3, max_steps=1_000_000
+        )
+        assert result.converged
+        assert result.faults_applied == 3
+        assert result.faults_skipped == 0
+        # the run fast-forwards to the fault and only pays O(n) re-convergence
+        # interactions on top — nowhere near the 1,000,000 budget
+        assert fault_at <= result.interactions <= fault_at + 5_000
+        assert result.instrumentation.counter("fast_forwarded_interactions") > 0
+
+    def test_fault_beyond_budget_is_skipped_not_spun(self, threshold4):
+        result = run_with_faults(
+            threshold4, 8, [crash(500_000)], seed=3, max_steps=10_000
+        )
+        assert result.converged  # the population did stabilise
+        assert result.faults_applied == 0
+        assert result.faults_skipped == 1
+        assert result.interactions < 10_000  # no no-op spin to the budget
+
+    def test_verdict_matches_slow_path(self, threshold4):
+        """Fast-forwarding must not change the outcome, only the cost."""
+        result = run_with_faults(
+            threshold4, 8, [crash(150_000, count=3)], seed=3, max_steps=200_000
+        )
+        assert result.converged
+        assert result.verdict == 1  # acceptance already committed before the crash
+
+    def test_victimless_fault_counts_as_skipped(self, threshold4):
+        # no agent is ever in 2^2 at interaction 0
+        result = run_with_faults(
+            threshold4, 4, [crash(0, count=2, state="2^2")], seed=1, max_steps=100_000
+        )
+        assert result.faults_applied == 0
+        assert result.faults_skipped == 1
+
+    def test_consecutive_post_convergence_faults_all_fire(self, threshold4):
+        faults = [crash(10_000), crash(20_000), crash(30_000)]
+        result = run_with_faults(threshold4, 10, faults, seed=2, max_steps=1_000_000)
+        assert result.converged
+        assert result.faults_applied == 3
+        assert result.survivors == 7
+        assert 30_000 <= result.interactions <= 35_000
