@@ -20,42 +20,49 @@ from repro.simulation import AgentListScheduler, BatchScheduler, CountScheduler
 PROTOCOL = binary_threshold(8)
 
 
-def drive_agent_list(n: int, interactions: int) -> None:
+def drive_agent_list(n: int, interactions: int) -> dict:
     scheduler = AgentListScheduler(PROTOCOL, seed=0)
     scheduler.reset(n)
+    scheduler.instrumentation.add("interactions", interactions)
     for _ in range(interactions):
         scheduler.step()
+    return scheduler.instrumentation.snapshot().as_dict()
 
 
-def drive_count(n: int, interactions: int) -> None:
+def drive_count(n: int, interactions: int) -> dict:
     scheduler = CountScheduler(PROTOCOL, seed=0)
     scheduler.reset(n)
+    scheduler.instrumentation.add("interactions", interactions)
     for _ in range(interactions):
         scheduler.step()
+    return scheduler.instrumentation.snapshot().as_dict()
 
 
-def drive_batch(n: int, interactions: int) -> None:
+def drive_batch(n: int, interactions: int) -> dict:
     scheduler = BatchScheduler(PROTOCOL, seed=0, epsilon=0.05)
     scheduler.reset(n)
     done = 0
     leap = max(1, int(0.05 * n))
     while done < interactions:
         done += scheduler.leap(min(leap, interactions - done))
+    return scheduler.instrumentation.snapshot().as_dict()
 
 
 @pytest.mark.parametrize("n", [1_000, 10_000])
 def test_e10_agent_list(benchmark, n):
-    benchmark(drive_agent_list, n, 5_000)
+    # extra_info records the work done (not just wall clock), so the
+    # stored benchmark JSON can distinguish "got faster" from "did less".
+    benchmark.extra_info["instrumentation"] = benchmark(drive_agent_list, n, 5_000)
 
 
 @pytest.mark.parametrize("n", [1_000, 10_000])
 def test_e10_count(benchmark, n):
-    benchmark(drive_count, n, 5_000)
+    benchmark.extra_info["instrumentation"] = benchmark(drive_count, n, 5_000)
 
 
 @pytest.mark.parametrize("n", [10_000, 100_000, 1_000_000])
 def test_e10_batch(benchmark, n):
-    benchmark(drive_batch, n, 5 * n)
+    benchmark.extra_info["instrumentation"] = benchmark(drive_batch, n, 5 * n)
 
 
 def test_e10_report():

@@ -38,6 +38,11 @@ def test_e11_conformance_timing(benchmark):
         matched_seeds=(0,),
     )
     assert report.ok, report.render()
+    # Capture how much sampling sits behind the timing: the perf
+    # trajectory then records work done, not just wall clock.
+    assert report.instrumentation is not None
+    benchmark.extra_info["seed"] = report.seed
+    benchmark.extra_info["instrumentation"] = report.instrumentation.as_dict()
 
 
 def test_e11_report():

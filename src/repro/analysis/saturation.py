@@ -34,6 +34,7 @@ from ..core.errors import ProtocolError, SearchBudgetExceeded
 from ..core.multiset import Multiset
 from ..core.protocol import PopulationProtocol, Transition
 from ..core.semantics import fire_sequence
+from ..obs import get_tracer, progress
 from ..reachability.pseudo import input_state
 
 __all__ = ["TripledSequence", "SaturationResult", "expanding_transition", "saturation_sequence"]
@@ -153,33 +154,44 @@ def saturation_sequence(protocol: PopulationProtocol) -> SaturationResult:
     rounds = 0
     all_states = set(protocol.states)
 
-    while configuration.support() != all_states:
-        transition = expanding_transition(protocol, configuration.support())
-        if transition is None:
-            unreachable = all_states - configuration.support()
-            raise ProtocolError(
-                f"states {sorted(map(str, unreachable))} are not coverable from the input; "
-                "Lemma 5.4's standing assumption fails for this protocol"
-            )
-        tripled = 3 * configuration
-        if not transition.enabled_in(tripled):
-            # Cannot happen: p, q lie in the support, so 3*C has >= 3
-            # agents in p and q (>= 3 in p alone when p = q).
-            raise ProtocolError(f"internal error: {transition} not enabled in tripled configuration")
-        configuration = tripled + transition.displacement
-        steps.append(transition)
-        rounds += 1
-        if rounds > protocol.num_states:
-            raise ProtocolError(
-                "saturation did not stabilise within n rounds; support failed to grow"
-            )
+    with get_tracer().span(
+        "saturation.sequence", states=protocol.num_states, protocol=protocol.name
+    ) as span:
+        meter = progress(
+            "saturation",
+            lambda: {"support": len(configuration.support()), "states": len(all_states)},
+        )
+        while configuration.support() != all_states:
+            meter.tick()
+            transition = expanding_transition(protocol, configuration.support())
+            if transition is None:
+                unreachable = all_states - configuration.support()
+                raise ProtocolError(
+                    f"states {sorted(map(str, unreachable))} are not coverable from the input; "
+                    "Lemma 5.4's standing assumption fails for this protocol"
+                )
+            tripled = 3 * configuration
+            if not transition.enabled_in(tripled):
+                # Cannot happen: p, q lie in the support, so 3*C has >= 3
+                # agents in p and q (>= 3 in p alone when p = q).
+                raise ProtocolError(f"internal error: {transition} not enabled in tripled configuration")
+            configuration = tripled + transition.displacement
+            steps.append(transition)
+            rounds += 1
+            if rounds > protocol.num_states:
+                raise ProtocolError(
+                    "saturation did not stabilise within n rounds; support failed to grow"
+                )
 
-    while configuration.size < 2:
-        # IC(i) needs at least two agents; a plain tripling round keeps
-        # the invariant IC(3^j) --sigma--> C_j without firing anything.
-        configuration = 3 * configuration
-        steps.append(None)
-        rounds += 1
+        while configuration.size < 2:
+            # IC(i) needs at least two agents; a plain tripling round keeps
+            # the invariant IC(3^j) --sigma--> C_j without firing anything.
+            configuration = 3 * configuration
+            steps.append(None)
+            rounds += 1
+        meter.finish()
+        span.add("rounds", rounds)
+        span.set(input_size=3**rounds)
 
     return SaturationResult(
         input_size=3**rounds,

@@ -23,6 +23,7 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..core.multiset import Multiset
 from ..core.protocol import IndexedProtocol, PopulationProtocol
+from ..obs import get_tracer
 from ..reachability.graph import ReachabilityGraph
 
 __all__ = [
@@ -130,19 +131,25 @@ def stable_slice(
     configuration populating some state with output ``1 - b``.
     """
     indexed = protocol.indexed()
-    graph = ReachabilityGraph.full_slice(protocol, size, node_budget=node_budget)
+    with get_tracer().span(
+        "stable.slice", size=size, states=indexed.n, protocol=protocol.name
+    ) as span:
+        graph = ReachabilityGraph.full_slice(protocol, size, node_budget=node_budget)
 
-    bad_for: Dict[int, List[Config]] = {0: [], 1: []}
-    for config in graph.nodes:
-        populated_outputs = {indexed.output[i] for i, c in enumerate(config) if c}
-        if 1 in populated_outputs:
-            bad_for[0].append(config)  # populates an output-1 state => not 0-stable
-        if 0 in populated_outputs:
-            bad_for[1].append(config)
+        bad_for: Dict[int, List[Config]] = {0: [], 1: []}
+        for config in graph.nodes:
+            populated_outputs = {indexed.output[i] for i, c in enumerate(config) if c}
+            if 1 in populated_outputs:
+                bad_for[0].append(config)  # populates an output-1 state => not 0-stable
+            if 0 in populated_outputs:
+                bad_for[1].append(config)
 
-    unstable0 = graph.backward_closure(bad_for[0])
-    unstable1 = graph.backward_closure(bad_for[1])
-    all_configs = frozenset(graph.nodes)
+        unstable0 = graph.backward_closure(bad_for[0])
+        unstable1 = graph.backward_closure(bad_for[1])
+        all_configs = frozenset(graph.nodes)
+        span.add("configurations", len(all_configs))
+        span.add("stable0", len(all_configs - unstable0))
+        span.add("stable1", len(all_configs - unstable1))
     return StableSlice(
         indexed=indexed,
         size=size,

@@ -36,6 +36,7 @@ from typing import Iterator, List, Optional, Tuple
 from ..core.multiset import Multiset
 from ..core.protocol import PopulationProtocol, Transition
 from ..analysis.verification import verify_input
+from ..obs import get_tracer, progress
 from .pipeline import section4_certificate
 
 __all__ = [
@@ -147,26 +148,44 @@ def busy_beaver_search(
     witnesses: List[PopulationProtocol] = []
     enumerated = 0
     threshold_count = 0
-    for protocol in all_deterministic_protocols(n):
-        enumerated += 1
-        if enumerated > enumeration_budget:
-            break
-        eta = threshold_behaviour(protocol, max_input)
-        if eta is None:
-            continue
-        threshold_count += 1
-        if eta > best_eta:
-            best_eta = eta
-            witnesses = [protocol]
-        elif eta == best_eta and len(witnesses) < max_witnesses:
-            witnesses.append(protocol)
+    tracer = get_tracer()
+    with tracer.span(
+        "bounds.busy_beaver", n=n, max_input=max_input, budget=enumeration_budget
+    ) as span:
+        meter = progress(
+            "busy-beaver",
+            lambda: {
+                "enumerated": enumerated,
+                "threshold": threshold_count,
+                "best_eta": best_eta,
+            },
+        )
+        for protocol in all_deterministic_protocols(n):
+            meter.tick()
+            enumerated += 1
+            if enumerated > enumeration_budget:
+                break
+            eta = threshold_behaviour(protocol, max_input)
+            if eta is None:
+                continue
+            threshold_count += 1
+            if eta > best_eta:
+                best_eta = eta
+                witnesses = [protocol]
+            elif eta == best_eta and len(witnesses) < max_witnesses:
+                witnesses.append(protocol)
+        meter.finish()
+        span.add("enumerated", enumerated)
+        span.add("threshold_protocols", threshold_count)
+        span.set(best_eta=best_eta)
 
-    certified = False
-    for witness in witnesses:
-        certificate = section4_certificate(witness, max_length=max_input + 4)
-        if certificate is not None and certificate.a <= max_input:
-            certified = True
-            break
+        certified = False
+        with tracer.span("bounds.busy_beaver.certify", witnesses=len(witnesses)):
+            for witness in witnesses:
+                certificate = section4_certificate(witness, max_length=max_input + 4)
+                if certificate is not None and certificate.a <= max_input:
+                    certified = True
+                    break
     return BusyBeaverSearchResult(
         n=n,
         eta=best_eta,

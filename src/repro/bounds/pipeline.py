@@ -31,6 +31,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 from ..core.errors import CertificateError, ReproError, SearchBudgetExceeded
 from ..core.multiset import Multiset
 from ..core.protocol import PopulationProtocol, Transition
+from ..obs import get_tracer, progress
 from ..reachability.graph import ReachabilityGraph
 from ..reachability.pseudo import RealisableBasisElement, input_state, realisable_basis
 from ..wqo.dickson import first_ordered_pair
@@ -121,27 +122,37 @@ def build_stable_sequence(
 
     current = protocol.initial_configuration(2)
     path_so_far: Tuple[Transition, ...] = ()
-    for position in range(length):
-        graph = ReachabilityGraph.from_roots(
-            protocol, [indexed.encode(current)], node_budget=node_budget
+    with get_tracer().span(
+        "pipeline.stable_sequence", length=length, protocol=protocol.name
+    ) as span:
+        meter = progress(
+            "stable-sequence",
+            lambda: {"position": len(configurations), "target": length},
         )
-        verdicts = _stable_nodes(indexed, graph)
-        if not verdicts:
-            raise ReproError(
-                f"no stable configuration reachable from {current.pretty()} — "
-                "the protocol does not stabilise on this input"
+        for position in range(length):
+            meter.tick()
+            graph = ReachabilityGraph.from_roots(
+                protocol, [indexed.encode(current)], node_budget=node_budget
             )
-        target = min(verdicts)  # deterministic choice
-        path = graph.shortest_path(indexed.encode(current), target)
-        assert path is not None
-        bridge = _path_transitions(indexed, path)
-        stable_config = indexed.decode(target)
+            verdicts = _stable_nodes(indexed, graph)
+            if not verdicts:
+                raise ReproError(
+                    f"no stable configuration reachable from {current.pretty()} — "
+                    "the protocol does not stabilise on this input"
+                )
+            target = min(verdicts)  # deterministic choice
+            path = graph.shortest_path(indexed.encode(current), target)
+            assert path is not None
+            bridge = _path_transitions(indexed, path)
+            stable_config = indexed.decode(target)
 
-        path_so_far = path_so_far + bridge
-        configurations.append(stable_config)
-        cumulative.append(path_so_far)
-        bridges.append(bridge)
-        current = stable_config + Multiset.singleton(x)
+            path_so_far = path_so_far + bridge
+            configurations.append(stable_config)
+            cumulative.append(path_so_far)
+            bridges.append(bridge)
+            current = stable_config + Multiset.singleton(x)
+            span.add("graph_nodes", len(graph.nodes))
+        meter.finish()
 
     # bridges[i] as stored fires C_i + x ->* C_(i+1); shift them so the
     # dataclass contract holds (the first entry was IC(2) ->* C_2).
@@ -164,40 +175,46 @@ def section4_certificate(
     for the smallest ``a`` the ordered-pair search yields, or ``None``
     when no pair within ``max_length`` survives the certificate check.
     """
-    sequence = build_stable_sequence(protocol, max_length, node_budget=node_budget)
-    vectors = [c.to_vector(protocol.states) for c in sequence.configurations]
+    with get_tracer().span(
+        "pipeline.section4", protocol=protocol.name, max_length=max_length
+    ) as span:
+        sequence = build_stable_sequence(protocol, max_length, node_budget=node_budget)
+        vectors = [c.to_vector(protocol.states) for c in sequence.configurations]
 
-    # scan ordered pairs in order of increasing k (smallest certified a first)
-    pairs = []
-    for j in range(1, len(vectors)):
-        for i in range(j):
-            if all(a <= b for a, b in zip(vectors[i], vectors[j])):
-                pairs.append((i, j))
-    pairs.sort()
+        # scan ordered pairs in order of increasing k (smallest certified a first)
+        pairs = []
+        for j in range(1, len(vectors)):
+            for i in range(j):
+                if all(a <= b for a, b in zip(vectors[i], vectors[j])):
+                    pairs.append((i, j))
+        pairs.sort()
+        span.add("ordered_pairs", len(pairs))
 
-    for i, j in pairs:
-        c_k = sequence.configurations[i]
-        c_l = sequence.configurations[j]
-        a = sequence.input_of(i)
-        b = sequence.input_of(j) - a
-        pump_path: Tuple[Transition, ...] = ()
-        for position in range(i, j):
-            pump_path = pump_path + sequence.bridges[position]
-        S = frozenset((c_l - c_k).support()) or frozenset({input_state(protocol)})
-        certificate = PumpingCertificate(
-            protocol=protocol,
-            a=a,
-            b=b,
-            B=c_k,
-            S=S,
-            path_to_stable=sequence.cumulative_paths[i],
-            pump_path=pump_path,
-        )
-        try:
-            certificate.check(node_budget=node_budget)
-            return certificate
-        except CertificateError:
-            continue
+        for i, j in pairs:
+            c_k = sequence.configurations[i]
+            c_l = sequence.configurations[j]
+            a = sequence.input_of(i)
+            b = sequence.input_of(j) - a
+            pump_path: Tuple[Transition, ...] = ()
+            for position in range(i, j):
+                pump_path = pump_path + sequence.bridges[position]
+            S = frozenset((c_l - c_k).support()) or frozenset({input_state(protocol)})
+            certificate = PumpingCertificate(
+                protocol=protocol,
+                a=a,
+                b=b,
+                B=c_k,
+                S=S,
+                path_to_stable=sequence.cumulative_paths[i],
+                pump_path=pump_path,
+            )
+            try:
+                span.add("certificates_checked")
+                certificate.check(node_budget=node_budget)
+                span.set(certified_a=certificate.a, certified_b=certificate.b)
+                return certificate
+            except CertificateError:
+                continue
     return None
 
 
@@ -225,61 +242,89 @@ def section5_certificate(
     indexed = protocol.indexed()
     x = input_state(protocol)
 
-    candidates = [
-        element
-        for element in realisable_basis(protocol, frontier_budget=frontier_budget)
-        if element.input_size >= 1
-    ]
-    if not candidates:
-        return None
-    candidates.sort(key=lambda e: (e.size, e.input_size))
+    tracer = get_tracer()
+    with tracer.span(
+        "pipeline.section5", protocol=protocol.name, max_input=max_input
+    ) as span:
+        with tracer.span("pipeline.realisable_basis"):
+            candidates = [
+                element
+                for element in realisable_basis(protocol, frontier_budget=frontier_budget)
+                if element.input_size >= 1
+            ]
+        span.add("basis_candidates", len(candidates))
+        if not candidates:
+            return None
+        candidates.sort(key=lambda e: (e.size, e.input_size))
 
-    for a in range(2, max_input + 1):
-        initial = indexed.encode(protocol.initial_configuration(a))
-        try:
-            graph = ReachabilityGraph.from_roots(protocol, [initial], node_budget=node_budget)
-        except SearchBudgetExceeded:
-            break
-        verdicts = _stable_nodes(indexed, graph)
-        for target in sorted(verdicts):
-            stable_config = indexed.decode(target)
-            for element in candidates:
-                S = frozenset(element.configuration.support()) | frozenset(
-                    q for q in stable_config.support() if stable_config[q] > cap
-                )
-                B = Multiset(
-                    {
-                        q: min(c, cap) if q in S else c
-                        for q, c in stable_config.items()
-                    }
-                )
-                needed = 2 * element.size
-                # way-point: saturated node that can still reach the target
-                reachers = graph.backward_closure([target])
-                way_point = None
-                for node in sorted(reachers):
-                    if min(node) >= needed:
-                        way_point = node
-                        break
-                if way_point is None:
-                    continue
-                path_a = graph.shortest_path(initial, way_point)
-                path_b = graph.shortest_path(way_point, target)
-                if path_a is None or path_b is None:
-                    continue
-                certificate = SaturationCertificate(
-                    protocol=protocol,
-                    a=a,
-                    b=element.input_size,
-                    B=B,
-                    S=S,
-                    path_to_saturated=_path_transitions(indexed, path_a),
-                    path_to_stable=_path_transitions(indexed, path_b),
-                    pi=element.pi,
-                )
-                try:
-                    certificate.check(node_budget=node_budget)
-                    return certificate
-                except CertificateError:
-                    continue
+        meter = progress("section5", lambda: {"candidates": len(candidates)})
+        for a in range(2, max_input + 1):
+            meter.tick()
+            span.add("inputs_searched")
+            certificate = _section5_attempt(
+                protocol, indexed, a, candidates, cap, node_budget, span
+            )
+            if certificate is None:
+                continue
+            if certificate is _BUDGET_EXCEEDED:
+                break
+            span.set(certified_a=certificate.a, certified_b=certificate.b)
+            return certificate
+    return None
+
+
+_BUDGET_EXCEEDED = object()
+"""Sentinel: the reachability graph blew the node budget at this input."""
+
+
+def _section5_attempt(protocol, indexed, a, candidates, cap, node_budget, span):
+    """One input size of the Section 5 search (see :func:`section5_certificate`)."""
+    initial = indexed.encode(protocol.initial_configuration(a))
+    try:
+        graph = ReachabilityGraph.from_roots(protocol, [initial], node_budget=node_budget)
+    except SearchBudgetExceeded:
+        return _BUDGET_EXCEEDED
+    verdicts = _stable_nodes(indexed, graph)
+    for target in sorted(verdicts):
+        stable_config = indexed.decode(target)
+        for element in candidates:
+            S = frozenset(element.configuration.support()) | frozenset(
+                q for q in stable_config.support() if stable_config[q] > cap
+            )
+            B = Multiset(
+                {
+                    q: min(c, cap) if q in S else c
+                    for q, c in stable_config.items()
+                }
+            )
+            needed = 2 * element.size
+            # way-point: saturated node that can still reach the target
+            reachers = graph.backward_closure([target])
+            way_point = None
+            for node in sorted(reachers):
+                if min(node) >= needed:
+                    way_point = node
+                    break
+            if way_point is None:
+                continue
+            path_a = graph.shortest_path(initial, way_point)
+            path_b = graph.shortest_path(way_point, target)
+            if path_a is None or path_b is None:
+                continue
+            certificate = SaturationCertificate(
+                protocol=protocol,
+                a=a,
+                b=element.input_size,
+                B=B,
+                S=S,
+                path_to_saturated=_path_transitions(indexed, path_a),
+                path_to_stable=_path_transitions(indexed, path_b),
+                pi=element.pi,
+            )
+            try:
+                span.add("certificates_checked")
+                certificate.check(node_budget=node_budget)
+                return certificate
+            except CertificateError:
+                continue
     return None

@@ -24,9 +24,11 @@ Protocol arguments are either a path to a JSON file produced by
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
-from typing import List, Optional
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
 
 from .analysis.verification import verify_protocol
 from .bounds.pipeline import section4_certificate, section5_certificate
@@ -35,6 +37,15 @@ from .core.multiset import Multiset
 from .core.parser import parse_predicate
 from .core.protocol import PopulationProtocol
 from .io import dumps, loads, to_dot
+from .obs import (
+    Tracer,
+    disable_progress,
+    enable_progress,
+    exporter_for_path,
+    load_trace,
+    set_tracer,
+    summarize_trace,
+)
 from .protocols import (
     binary_threshold,
     compile_predicate,
@@ -97,6 +108,54 @@ def _parse_input(text: str) -> Multiset:
 
 
 # ----------------------------------------------------------------------
+# Observability plumbing
+# ----------------------------------------------------------------------
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """``--trace`` / ``--progress`` on the long-running commands."""
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write a trace: Chrome trace-event JSON (Perfetto-loadable), "
+        "or a JSONL event log when FILE ends in .jsonl",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="emit periodic progress heartbeats to stderr",
+    )
+
+
+@contextmanager
+def _observability(args) -> Iterator[None]:
+    """Activate tracing/progress around a command, restoring on exit."""
+    trace_path = getattr(args, "trace", None)
+    progress_on = getattr(args, "progress", False)
+    if not trace_path and not progress_on:
+        yield
+        return
+    tracer = Tracer([exporter_for_path(trace_path)] if trace_path else [])
+    previous = set_tracer(tracer)
+    if progress_on:
+        enable_progress()
+    try:
+        yield
+    finally:
+        set_tracer(previous)
+        tracer.close()
+        if progress_on:
+            disable_progress()
+        if trace_path:
+            print(
+                f"trace: {tracer.finished_spans} spans written to {trace_path} "
+                f"(inspect with `repro trace summarize {trace_path}`)",
+                file=sys.stderr,
+            )
+
+
+# ----------------------------------------------------------------------
 # Commands
 # ----------------------------------------------------------------------
 
@@ -141,11 +200,33 @@ def _cmd_simulate(args) -> int:
     scheduler = CountScheduler(protocol, seed=args.seed)
     result = scheduler.run(inputs, max_steps=args.max_steps)
     verdict = protocol.output_of(result.configuration)
-    print(f"population: {result.population}")
-    print(f"interactions: {result.interactions} (parallel time {result.parallel_time:.1f})")
-    print(f"converged: {result.converged}")
-    print(f"final configuration: {result.configuration.pretty()}")
-    print(f"consensus output: {verdict}")
+    if args.json:
+        # Self-describing artifact: the seed and the work counters make
+        # the run reproducible and auditable from the file alone.
+        payload = {
+            "protocol": protocol.name,
+            "seed": args.seed,
+            "input": {variable: count for variable, count in inputs.items()},
+            "max_steps": args.max_steps,
+            "population": result.population,
+            "interactions": result.interactions,
+            "parallel_time": result.parallel_time,
+            "converged": result.converged,
+            "configuration": {str(q): c for q, c in result.configuration.items()},
+            "output": verdict,
+            "instrumentation": (
+                result.instrumentation.as_dict()
+                if result.instrumentation is not None
+                else None
+            ),
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"population: {result.population}")
+        print(f"interactions: {result.interactions} (parallel time {result.parallel_time:.1f})")
+        print(f"converged: {result.converged}")
+        print(f"final configuration: {result.configuration.pretty()}")
+        print(f"consensus output: {verdict}")
     return 0 if result.converged else 2
 
 
@@ -176,8 +257,6 @@ def _cmd_conformance(args) -> int:
         seed=args.seed,
     )
     if args.json:
-        import json
-
         print(json.dumps(report.to_dict(), indent=2))
     else:
         print(report.render())
@@ -217,6 +296,15 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
+def _cmd_trace_summarize(args) -> int:
+    try:
+        records = load_trace(args.file)
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"error: cannot read trace {args.file!r}: {error}")
+    print(summarize_trace(records))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse command tree (exposed for documentation tooling)."""
     parser = argparse.ArgumentParser(
@@ -246,6 +334,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--input", required=True, help='"x=60,y=40" or a bare count')
     p.add_argument("--seed", type=int, default=None)
     p.add_argument("--max-steps", type=int, default=1_000_000)
+    p.add_argument("--json", action="store_true",
+                   help="emit a machine-readable result (seed + instrumentation included)")
+    _add_obs_flags(p)
     p.set_defaults(handler=_cmd_simulate)
 
     p = sub.add_parser(
@@ -259,12 +350,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-steps", type=int, default=200_000)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--json", action="store_true", help="emit the machine-readable report")
+    _add_obs_flags(p)
     p.set_defaults(handler=_cmd_conformance)
 
     p = sub.add_parser("certify", help="produce a checked eta <= a pumping certificate")
     p.add_argument("protocol")
     p.add_argument("--section", type=int, choices=(4, 5), default=4)
     p.add_argument("--max-input", type=int, default=16)
+    _add_obs_flags(p)
     p.set_defaults(handler=_cmd_certify)
 
     p = sub.add_parser("dot", help="emit a Graphviz digraph of the protocol")
@@ -275,7 +368,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("protocol")
     p.add_argument("predicate", nargs="?", default=None, help="optional predicate to verify against")
     p.add_argument("--max-input", type=int, default=8)
+    _add_obs_flags(p)
     p.set_defaults(handler=_cmd_analyze)
+
+    p = sub.add_parser("trace", help="inspect trace files written with --trace")
+    trace_sub = p.add_subparsers(dest="trace_command", required=True)
+    ps = trace_sub.add_parser("summarize", help="per-span time/count table of a trace file")
+    ps.add_argument("file", help="a .json (Chrome trace-event) or .jsonl trace")
+    ps.set_defaults(handler=_cmd_trace_summarize)
 
     return parser
 
@@ -284,4 +384,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        with _observability(args):
+            return args.handler(args)
+    except BrokenPipeError:
+        # stdout went away (`repro trace summarize ... | head`): detach
+        # quietly instead of tracing back.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0

@@ -37,6 +37,7 @@ import itertools
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..core.errors import SearchBudgetExceeded
+from ..obs import get_tracer, progress
 
 __all__ = [
     "solve_equalities",
@@ -115,35 +116,51 @@ def solve_equalities(
     frontier: List[Tuple[Vector, Vector]] = [(u, img) for u, img in zip(units, unit_images)]
     processed = 0
 
-    while frontier:
-        next_frontier: List[Tuple[Vector, Vector]] = []
-        seen_next = set()
-        for vector, image in frontier:
-            processed += 1
-            if processed > frontier_budget:
-                raise SearchBudgetExceeded(
-                    f"Contejean-Devie completion exceeded {frontier_budget} frontier vectors"
-                )
-            if all(x == 0 for x in image):
-                if not any(_dominates(vector, m) for m in minimal):
-                    minimal = [m for m in minimal if not _dominates(m, vector)]
-                    minimal.append(vector)
-                continue
-            for i in range(num_vars):
-                # Geometric restriction: only grow coordinate i when it
-                # can reduce the defect, i.e. <A t, A e_i> < 0.
-                dot = sum(a * b for a, b in zip(image, unit_images[i]))
-                if dot >= 0:
+    with get_tracer().span(
+        "pottier.solve_equalities",
+        rows=len(matrix),
+        variables=num_vars,
+        frontier_budget=frontier_budget,
+    ) as span:
+        meter = progress(
+            "pottier",
+            lambda: {"frontier": len(frontier), "minimal": len(minimal)},
+        )
+        while frontier:
+            span.add("generations")
+            next_frontier: List[Tuple[Vector, Vector]] = []
+            seen_next = set()
+            for vector, image in frontier:
+                meter.tick()
+                processed += 1
+                if processed > frontier_budget:
+                    span.add("budget_exceeded")
+                    raise SearchBudgetExceeded(
+                        f"Contejean-Devie completion exceeded {frontier_budget} frontier vectors"
+                    )
+                if all(x == 0 for x in image):
+                    if not any(_dominates(vector, m) for m in minimal):
+                        minimal = [m for m in minimal if not _dominates(m, vector)]
+                        minimal.append(vector)
                     continue
-                extended = tuple(v + 1 if j == i else v for j, v in enumerate(vector))
-                if any(_dominates(extended, m) for m in minimal):
-                    continue
-                if extended in seen_next:
-                    continue
-                seen_next.add(extended)
-                new_image = tuple(a + b for a, b in zip(image, unit_images[i]))
-                next_frontier.append((extended, new_image))
-        frontier = next_frontier
+                for i in range(num_vars):
+                    # Geometric restriction: only grow coordinate i when it
+                    # can reduce the defect, i.e. <A t, A e_i> < 0.
+                    dot = sum(a * b for a, b in zip(image, unit_images[i]))
+                    if dot >= 0:
+                        continue
+                    extended = tuple(v + 1 if j == i else v for j, v in enumerate(vector))
+                    if any(_dominates(extended, m) for m in minimal):
+                        continue
+                    if extended in seen_next:
+                        continue
+                    seen_next.add(extended)
+                    new_image = tuple(a + b for a, b in zip(image, unit_images[i]))
+                    next_frontier.append((extended, new_image))
+            frontier = next_frontier
+        meter.finish()
+        span.add("frontier_vectors", processed)
+        span.add("minimal_solutions", len(minimal))
 
     # A final sweep: during the run, vectors were only pruned against
     # minimal solutions found *so far*; prune mutually.

@@ -1,0 +1,72 @@
+"""Observability: span tracing, metrics, and progress heartbeats.
+
+The toolkit's searches (Karp–Miller coverability, Pottier completion,
+the Lemma 5.4 saturation sequence, stable-slice extraction, the
+certificate pipelines, the busy-beaver enumeration) are fixed-point
+computations whose running time the paper proves can be astronomical.
+This package makes them observable from three angles:
+
+* :mod:`repro.obs.tracer` — nested spans with attributes and per-span
+  counters; disabled by default via a zero-cost null singleton;
+* :mod:`repro.obs.exporters` — JSONL event logs and Chrome trace-event
+  JSON (Perfetto / ``chrome://tracing``);
+* :mod:`repro.obs.progress` — rate-limited heartbeats (frontier size,
+  basis size, iterations/sec) for the iterative loops;
+* :mod:`repro.obs.metrics` — the counters/timers layer shared with the
+  simulators (grown out of ``repro.simulation.instrumentation``, which
+  remains as a back-compat re-export), with a process-wide registry;
+* :mod:`repro.obs.summary` — reading traces back and rendering the
+  per-span table behind ``repro trace summarize``.
+"""
+
+from .exporters import ChromeTraceExporter, JsonlExporter, exporter_for_path
+from .metrics import (
+    Instrumentation,
+    InstrumentationSnapshot,
+    clear_registry,
+    get_metrics,
+    registry_snapshot,
+)
+from .progress import (
+    ProgressMeter,
+    disable_progress,
+    enable_progress,
+    progress,
+    progress_enabled,
+)
+from .summary import SpanRecord, load_trace, summarize_trace
+from .tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanExporter,
+    Tracer,
+    get_tracer,
+    set_tracer,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "SpanExporter",
+    "get_tracer",
+    "set_tracer",
+    "JsonlExporter",
+    "ChromeTraceExporter",
+    "exporter_for_path",
+    "ProgressMeter",
+    "progress",
+    "enable_progress",
+    "disable_progress",
+    "progress_enabled",
+    "Instrumentation",
+    "InstrumentationSnapshot",
+    "get_metrics",
+    "registry_snapshot",
+    "clear_registry",
+    "SpanRecord",
+    "load_trace",
+    "summarize_trace",
+]

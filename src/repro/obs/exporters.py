@@ -1,0 +1,139 @@
+"""Trace exporters: JSONL event logs and Chrome trace-event JSON.
+
+Two file formats, chosen by extension in the CLI (``.jsonl`` vs
+anything else):
+
+* :class:`JsonlExporter` writes one JSON object per line as spans
+  finish — an append-only structured log that is greppable, safe
+  against crashes (every line already on disk is valid), and trivially
+  consumed by ``repro trace summarize``.
+
+* :class:`ChromeTraceExporter` buffers complete events and writes a
+  single ``{"traceEvents": [...]}`` JSON document on close, in the
+  Chrome trace-event format understood by Perfetto and
+  ``chrome://tracing``.  Span attributes and counters travel in
+  ``args`` (with ``parent``/``depth`` included so the summarizer can
+  rebuild the nesting without relying on time containment).
+
+Both formats use microsecond timestamps relative to the tracer origin.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from .tracer import Span, SpanExporter
+
+__all__ = ["JsonlExporter", "ChromeTraceExporter", "exporter_for_path"]
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce attribute values to something ``json.dumps`` accepts."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def _clean(attributes: Dict[str, Any]) -> Dict[str, Any]:
+    return {key: _jsonable(value) for key, value in attributes.items()}
+
+
+class JsonlExporter(SpanExporter):
+    """Append-only JSONL event log (one object per finished span/event)."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._handle = open(path, "w")
+        self._handle.write(
+            json.dumps({"type": "meta", "format": "repro-trace", "version": 1}) + "\n"
+        )
+
+    def export(self, span: Span) -> None:
+        record = {
+            "type": "span",
+            "name": span.name,
+            "id": span.span_id,
+            "parent": span.parent_id,
+            "depth": span.depth,
+            "start_us": span.start_us,
+            "dur_us": span.duration_us,
+            "attrs": _clean(span.attributes),
+            "counters": dict(span.counters),
+        }
+        self._handle.write(json.dumps(record) + "\n")
+
+    def export_event(self, name: str, timestamp_us: float, attributes: Dict[str, Any]) -> None:
+        record = {
+            "type": "event",
+            "name": name,
+            "ts_us": timestamp_us,
+            "attrs": _clean(attributes),
+        }
+        self._handle.write(json.dumps(record) + "\n")
+
+    def close(self) -> None:
+        self._handle.close()
+
+
+class ChromeTraceExporter(SpanExporter):
+    """Chrome trace-event JSON for Perfetto / ``chrome://tracing``."""
+
+    def __init__(self, path: str, process_name: str = "repro"):
+        self.path = path
+        self._events: List[Dict[str, Any]] = [
+            {
+                "ph": "M",
+                "pid": 1,
+                "tid": 1,
+                "name": "process_name",
+                "args": {"name": process_name},
+            }
+        ]
+
+    def export(self, span: Span) -> None:
+        args = _clean(span.attributes)
+        args.update(span.counters)
+        args["parent"] = span.parent_id
+        args["depth"] = span.depth
+        self._events.append(
+            {
+                "ph": "X",  # complete event: timestamp + duration
+                "pid": 1,
+                "tid": 1,
+                "name": span.name,
+                "ts": span.start_us,
+                "dur": span.duration_us,
+                "id": span.span_id,
+                "args": args,
+            }
+        )
+
+    def export_event(self, name: str, timestamp_us: float, attributes: Dict[str, Any]) -> None:
+        self._events.append(
+            {
+                "ph": "i",  # instant event
+                "s": "t",
+                "pid": 1,
+                "tid": 1,
+                "name": name,
+                "ts": timestamp_us,
+                "args": _clean(attributes),
+            }
+        )
+
+    def close(self) -> None:
+        with open(self.path, "w") as handle:
+            json.dump(
+                {"traceEvents": self._events, "displayTimeUnit": "ms"},
+                handle,
+                indent=1,
+            )
+            handle.write("\n")
+
+
+def exporter_for_path(path: str) -> SpanExporter:
+    """``.jsonl`` gets the event log; everything else Chrome trace JSON."""
+    if path.endswith(".jsonl"):
+        return JsonlExporter(path)
+    return ChromeTraceExporter(path)

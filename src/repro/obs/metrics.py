@@ -1,0 +1,147 @@
+"""Named counters and phase timers — the metrics half of :mod:`repro.obs`.
+
+Originally this lived in :mod:`repro.simulation.instrumentation` and
+served only the schedulers; it is now the shared metrics layer for the
+whole toolkit.  Simulator runs and the long-running analysis searches
+(Karp–Miller, Pottier completion, the Lemma 5.4 saturation sequence,
+the certificate pipelines) all report through one process-wide
+registry of named :class:`Instrumentation` objects, so a benchmark or
+a ``--json`` artifact can capture *work done* (nodes expanded, leaps
+rejected, rounds saturated) next to wall-clock time.
+
+The conventions keep the hot paths cheap:
+
+* per-*interaction* work is never counted one increment at a time;
+  the run loops add aggregates (``interactions``, ``silent_checks``)
+  once per run or per leap;
+* schedulers reset their instrumentation in ``reset``, so counters
+  describe the most recent run;
+* results carry an immutable :class:`InstrumentationSnapshot`, not the
+  live object, so stored results do not mutate under later runs.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping
+
+__all__ = [
+    "Instrumentation",
+    "InstrumentationSnapshot",
+    "get_metrics",
+    "registry_snapshot",
+    "clear_registry",
+]
+
+
+@dataclass(frozen=True)
+class InstrumentationSnapshot:
+    """An immutable copy of counters and phase timers at one instant."""
+
+    counters: Mapping[str, int] = field(default_factory=dict)
+    timers: Mapping[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """Plain-dict form for JSON reports."""
+        return {"counters": dict(self.counters), "timers": dict(self.timers)}
+
+    def counter(self, name: str) -> int:
+        """The value of one counter (0 when never incremented)."""
+        return self.counters.get(name, 0)
+
+
+class Instrumentation:
+    """Named counters plus wall-clock phase timers.
+
+    >>> inst = Instrumentation()
+    >>> inst.add("leaps")
+    >>> inst.add("interactions", 500)
+    >>> with inst.phase("run"):
+    ...     pass
+    >>> inst.snapshot().counter("interactions")
+    500
+    """
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.timers: Dict[str, float] = {}
+        self._phase_depth: Dict[str, int] = {}
+
+    def add(self, name: str, value: int = 1) -> None:
+        """Increment a counter (created at zero on first use)."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Accumulate wall-clock time of the enclosed block under ``name``.
+
+        Re-entrant: when a phase of the same name is opened inside an
+        active one, only the *outermost* block accumulates time.  (The
+        naive implementation added the inner elapsed time twice — once
+        on the inner exit and again as part of the outer exit.)
+        """
+        depth = self._phase_depth.get(name, 0)
+        self._phase_depth[name] = depth + 1
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            if depth == 0:
+                del self._phase_depth[name]
+                self.timers[name] = self.timers.get(name, 0.0) + elapsed
+            else:
+                self._phase_depth[name] = depth
+
+    def clear(self) -> None:
+        """Drop all counters and timers (called by scheduler ``reset``)."""
+        self.counters.clear()
+        self.timers.clear()
+        self._phase_depth.clear()
+
+    def merge(self, other: "InstrumentationSnapshot") -> None:
+        """Fold a snapshot into this object (ensemble aggregation)."""
+        for name, value in other.counters.items():
+            self.add(name, value)
+        for name, value in other.timers.items():
+            self.timers[name] = self.timers.get(name, 0.0) + value
+
+    def snapshot(self) -> InstrumentationSnapshot:
+        """An immutable copy of the current state."""
+        return InstrumentationSnapshot(
+            counters=dict(self.counters), timers=dict(self.timers)
+        )
+
+
+# ----------------------------------------------------------------------
+# The process-wide registry
+# ----------------------------------------------------------------------
+
+_REGISTRY: Dict[str, Instrumentation] = {}
+
+
+def get_metrics(name: str) -> Instrumentation:
+    """The registry's :class:`Instrumentation` for ``name`` (created lazily).
+
+    Subsystems that have no natural object to hang instrumentation on
+    (module-level search functions) report here; the tracer folds
+    finished span timings into the ``"spans"`` entry so that even an
+    untraced-but-instrumented process can see where time went.
+    """
+    instrumentation = _REGISTRY.get(name)
+    if instrumentation is None:
+        instrumentation = _REGISTRY[name] = Instrumentation()
+    return instrumentation
+
+
+def registry_snapshot() -> Dict[str, InstrumentationSnapshot]:
+    """Immutable snapshots of every registered instrumentation object."""
+    return {name: inst.snapshot() for name, inst in _REGISTRY.items()}
+
+
+def clear_registry() -> None:
+    """Reset every registered instrumentation object (test isolation)."""
+    for instrumentation in _REGISTRY.values():
+        instrumentation.clear()

@@ -1,0 +1,146 @@
+"""Loading and summarising trace files (``repro trace summarize``).
+
+Reads back either exporter format — the JSONL event log or the Chrome
+trace-event JSON — into a common :class:`SpanRecord` list, and renders
+a per-span-name aggregate table: call count, total and *self* wall
+time (total minus direct children, computed from the recorded
+parent/child links, so re-entrant span names never double-count), and
+the summed per-span counters.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["SpanRecord", "load_trace", "summarize_trace"]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span, format-independent."""
+
+    name: str
+    span_id: Optional[int]
+    parent_id: Optional[int]
+    depth: int
+    start_us: float
+    dur_us: float
+    attributes: Dict[str, Any] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+
+
+def _from_jsonl(lines: List[str]) -> List[SpanRecord]:
+    records: List[SpanRecord] = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        payload = json.loads(line)
+        if payload.get("type") != "span":
+            continue
+        records.append(
+            SpanRecord(
+                name=payload["name"],
+                span_id=payload.get("id"),
+                parent_id=payload.get("parent"),
+                depth=int(payload.get("depth", 0)),
+                start_us=float(payload.get("start_us", 0.0)),
+                dur_us=float(payload.get("dur_us", 0.0)),
+                attributes=dict(payload.get("attrs", {})),
+                counters={k: int(v) for k, v in payload.get("counters", {}).items()},
+            )
+        )
+    return records
+
+
+def _from_chrome(document: Dict[str, Any]) -> List[SpanRecord]:
+    records: List[SpanRecord] = []
+    for event in document.get("traceEvents", []):
+        if event.get("ph") != "X":
+            continue
+        args = dict(event.get("args", {}))
+        parent = args.pop("parent", None)
+        depth = args.pop("depth", 0)
+        # Counters and attributes share `args`; integers that are not
+        # nesting metadata are treated as counters, the rest as attrs.
+        counters = {k: v for k, v in args.items() if isinstance(v, int) and not isinstance(v, bool)}
+        attributes = {k: v for k, v in args.items() if k not in counters}
+        records.append(
+            SpanRecord(
+                name=event["name"],
+                span_id=event.get("id"),
+                parent_id=parent,
+                depth=int(depth or 0),
+                start_us=float(event.get("ts", 0.0)),
+                dur_us=float(event.get("dur", 0.0)),
+                attributes=attributes,
+                counters=counters,
+            )
+        )
+    return records
+
+
+def load_trace(path: str) -> List[SpanRecord]:
+    """Parse either trace format into span records (auto-detected)."""
+    with open(path) as handle:
+        text = handle.read()
+    if not text.strip():
+        return []
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError:
+        document = None  # not one JSON document: treat as JSONL
+    if isinstance(document, dict) and "traceEvents" in document:
+        return _from_chrome(document)
+    return _from_jsonl(text.splitlines())
+
+
+def summarize_trace(records: List[SpanRecord]) -> str:
+    """Render the per-span aggregate table (sorted by total time)."""
+    from ..fmt import render_table
+
+    if not records:
+        return "(empty trace: no finished spans)"
+
+    child_time: Dict[Optional[int], float] = {}
+    for record in records:
+        if record.parent_id is not None:
+            child_time[record.parent_id] = (
+                child_time.get(record.parent_id, 0.0) + record.dur_us
+            )
+
+    by_name: Dict[str, Dict[str, Any]] = {}
+    for record in records:
+        entry = by_name.setdefault(
+            record.name,
+            {"count": 0, "total_us": 0.0, "self_us": 0.0, "counters": {}},
+        )
+        entry["count"] += 1
+        entry["total_us"] += record.dur_us
+        entry["self_us"] += max(0.0, record.dur_us - child_time.get(record.span_id, 0.0))
+        for key, value in record.counters.items():
+            entry["counters"][key] = entry["counters"].get(key, 0) + value
+
+    rows = []
+    for name, entry in sorted(by_name.items(), key=lambda kv: -kv[1]["total_us"]):
+        counters = " ".join(
+            f"{key}={value}" for key, value in sorted(entry["counters"].items())
+        )
+        rows.append(
+            [
+                name,
+                entry["count"],
+                f"{entry['total_us'] / 1e6:.3f}s",
+                f"{entry['self_us'] / 1e6:.3f}s",
+                f"{entry['total_us'] / entry['count'] / 1e3:.2f}ms",
+                counters or "-",
+            ]
+        )
+    table = render_table(["span", "count", "total", "self", "mean", "counters"], rows)
+    deepest = max(record.depth for record in records)
+    return (
+        f"{len(records)} spans, {len(by_name)} distinct names, "
+        f"max depth {deepest}\n\n{table}"
+    )

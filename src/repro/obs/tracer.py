@@ -1,0 +1,266 @@
+"""Span-based tracing for the long-running fixed-point searches.
+
+A *span* is a named, timed region of execution with structured
+attributes (set once, at open or close) and per-span counters
+(accumulated while the span is open).  Spans nest: the tracer keeps an
+open-span stack, so a Karp–Miller construction started inside a
+Section 5 certificate search is recorded as a child of that search and
+a trace viewer shows the whole pipeline as a flame graph.
+
+Design constraints, in order:
+
+1. **Disabled must be free.**  The default tracer is a process-wide
+   no-op singleton: ``get_tracer().span(...)`` costs one attribute
+   lookup, one call, and a reused null context manager — no
+   allocation, no clock read.  Hot loops (the per-interaction
+   simulator paths) are not instrumented at all; only run-level and
+   iteration-round granularity carries spans.
+2. **Nesting is immune to double counting by construction.**  Every
+   span owns exactly one start and one end timestamp; aggregate views
+   (``repro trace summarize``) derive *self* time by subtracting child
+   durations, so re-entering the same span name never inflates totals
+   (unlike the historical ``Instrumentation.phase`` bug).
+3. **Exporters are pluggable.**  A finished span is handed to each
+   exporter; shipped exporters write JSONL event logs and Chrome
+   trace-event JSON (loadable in Perfetto / ``chrome://tracing``).
+
+Timestamps are monotonic (``time.perf_counter_ns``), relative to the
+tracer's creation, in microseconds — the native unit of the Chrome
+trace-event format.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "SpanExporter",
+]
+
+
+class SpanExporter:
+    """Exporter interface: receives finished spans and instant events."""
+
+    def export(self, span: "Span") -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def export_event(
+        self, name: str, timestamp_us: float, attributes: Dict[str, Any]
+    ) -> None:
+        """Record an instant event (heartbeats); optional."""
+
+    def close(self) -> None:
+        """Flush and release resources; optional."""
+
+
+class Span:
+    """One timed region: name, nesting position, attributes, counters."""
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "depth",
+        "start_us",
+        "end_us",
+        "attributes",
+        "counters",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        span_id: int,
+        parent_id: Optional[int],
+        depth: int,
+        start_us: float,
+        attributes: Dict[str, Any],
+    ):
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.depth = depth
+        self.start_us = start_us
+        self.end_us: Optional[float] = None
+        self.attributes = attributes
+        self.counters: Dict[str, int] = {}
+
+    @property
+    def duration_us(self) -> float:
+        """Span duration in microseconds (0 while still open)."""
+        if self.end_us is None:
+            return 0.0
+        return self.end_us - self.start_us
+
+    def set(self, **attributes: Any) -> None:
+        """Attach (or overwrite) structured attributes."""
+        self.attributes.update(attributes)
+
+    def add(self, name: str, value: int = 1) -> None:
+        """Increment a per-span counter."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def __repr__(self) -> str:
+        return f"Span({self.name!r}, id={self.span_id}, depth={self.depth})"
+
+
+class _OpenSpan:
+    """Context manager closing one span on exit (kept off the Span slots)."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self._span.set(error=exc_type.__name__)
+        self._tracer._finish(self._span)
+
+
+class Tracer:
+    """A live tracer: open-span stack plus exporters.
+
+    Not thread-safe by design — the searches it observes are
+    single-threaded, and keeping the span stack a plain list keeps the
+    per-span cost to a few attribute writes.
+    """
+
+    enabled = True
+
+    def __init__(self, exporters: Iterable[SpanExporter] = ()):
+        self._exporters: List[SpanExporter] = list(exporters)
+        self._stack: List[Span] = []
+        self._next_id = 1
+        self._origin_ns = time.perf_counter_ns()
+        self.finished_spans = 0
+
+    # ------------------------------------------------------------------
+
+    def _now_us(self) -> float:
+        return (time.perf_counter_ns() - self._origin_ns) / 1_000.0
+
+    def span(self, name: str, **attributes: Any) -> _OpenSpan:
+        """Open a span; use as ``with tracer.span("phase", k=3) as sp:``."""
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            name=name,
+            span_id=self._next_id,
+            parent_id=parent.span_id if parent is not None else None,
+            depth=len(self._stack),
+            start_us=self._now_us(),
+            attributes=attributes,
+        )
+        self._next_id += 1
+        self._stack.append(span)
+        return _OpenSpan(self, span)
+
+    def _finish(self, span: Span) -> None:
+        span.end_us = self._now_us()
+        # Tolerate mis-nested exits (an exception unwinding through
+        # several spans): pop up to and including this span.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+        self.finished_spans += 1
+        for exporter in self._exporters:
+            exporter.export(span)
+        # Fold the finished span into the shared metrics registry so
+        # untraced consumers (benchmarks, --json artifacts) see the
+        # same totals.  Only top-level time per name is accumulated —
+        # the same outer-only rule as Instrumentation.phase.
+        from .metrics import get_metrics
+
+        metrics = get_metrics("spans")
+        if not any(s.name == span.name for s in self._stack):
+            metrics.timers[span.name] = (
+                metrics.timers.get(span.name, 0.0) + span.duration_us / 1e6
+            )
+        for name, value in span.counters.items():
+            metrics.add(f"{span.name}.{name}", value)
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def event(self, name: str, **attributes: Any) -> None:
+        """Record an instant event (used by progress heartbeats)."""
+        timestamp = self._now_us()
+        for exporter in self._exporters:
+            exporter.export_event(name, timestamp, attributes)
+
+    def close(self) -> None:
+        """Close any spans left open (crash tolerance), then exporters."""
+        while self._stack:
+            self._finish(self._stack[-1])
+        for exporter in self._exporters:
+            exporter.close()
+
+
+class _NullSpan:
+    """Reusable no-op span: context manager, ``set`` and ``add`` do nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def set(self, **attributes: Any) -> None:
+        return None
+
+    def add(self, name: str, value: int = 1) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a reused no-op."""
+
+    enabled = False
+
+    def span(self, name: str, **attributes: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def current(self) -> None:
+        return None
+
+    def event(self, name: str, **attributes: Any) -> None:
+        return None
+
+    def close(self) -> None:
+        return None
+
+
+NULL_TRACER = NullTracer()
+
+_CURRENT: Any = NULL_TRACER
+
+
+def get_tracer():
+    """The active tracer (the no-op singleton unless tracing is on)."""
+    return _CURRENT
+
+
+def set_tracer(tracer) -> Any:
+    """Install ``tracer`` as the active one; returns the previous tracer."""
+    global _CURRENT
+    previous = _CURRENT
+    _CURRENT = tracer if tracer is not None else NULL_TRACER
+    return previous

@@ -34,6 +34,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 from ..core.errors import SearchBudgetExceeded
 from ..core.multiset import Multiset
 from ..core.protocol import IndexedProtocol, PopulationProtocol
+from ..obs import get_tracer, progress
 
 __all__ = [
     "OMEGA",
@@ -115,6 +116,7 @@ def karp_miller(
     pres = [_transition_pre(indexed, k) for k in range(len(indexed.deltas))]
 
     nodes: Set[ExtendedConfig] = set()
+    tracer = get_tracer()
     # Classic Karp-Miller tree: a branch stops when its configuration
     # *repeats* an ancestor; acceleration compares only against
     # ancestors of the same branch.  (Pruning against arbitrary
@@ -136,29 +138,45 @@ def karp_miller(
                         accelerated[idx] = OMEGA
         return tuple(accelerated)
 
-    while stack:
-        config, ancestors = stack.pop()
-        if config in ancestors:
-            continue  # branch terminates: configuration repeated
-        chain = ancestors + (config,)
-        for k in indexed.non_silent:
-            pre = pres[k]
-            if not _leq(pre, config):
-                continue
-            delta = indexed.deltas[k]
-            successor = tuple(
-                c if c == OMEGA else c + d for c, d in zip(config, delta)
-            )
-            successor = accelerate(successor, chain)
-            nodes.add(successor)
-            if len(nodes) > node_budget:
-                raise SearchBudgetExceeded(f"Karp-Miller construction exceeded {node_budget} nodes")
-            stack.append((successor, chain))
+    with tracer.span(
+        "coverability.karp_miller",
+        states=indexed.n,
+        transitions=len(indexed.deltas),
+        node_budget=node_budget,
+    ) as span:
+        meter = progress(
+            "karp-miller", lambda: {"frontier": len(stack), "nodes": len(nodes)}
+        )
+        while stack:
+            meter.tick()
+            config, ancestors = stack.pop()
+            if config in ancestors:
+                continue  # branch terminates: configuration repeated
+            chain = ancestors + (config,)
+            for k in indexed.non_silent:
+                pre = pres[k]
+                if not _leq(pre, config):
+                    continue
+                delta = indexed.deltas[k]
+                successor = tuple(
+                    c if c == OMEGA else c + d for c, d in zip(config, delta)
+                )
+                successor = accelerate(successor, chain)
+                nodes.add(successor)
+                if len(nodes) > node_budget:
+                    span.add("budget_exceeded")
+                    raise SearchBudgetExceeded(
+                        f"Karp-Miller construction exceeded {node_budget} nodes"
+                    )
+                stack.append((successor, chain))
+        meter.finish()
 
-    limits: Set[ExtendedConfig] = set()
-    for candidate in nodes:
-        if not any(_leq(candidate, other) and candidate != other for other in nodes):
-            limits.add(candidate)
+        limits: Set[ExtendedConfig] = set()
+        for candidate in nodes:
+            if not any(_leq(candidate, other) and candidate != other for other in nodes):
+                limits.add(candidate)
+        span.add("nodes", len(nodes))
+        span.add("limits", len(limits))
     return KarpMillerTree(indexed, limits, nodes)
 
 
@@ -203,18 +221,27 @@ def backward_coverability_basis(
     pres = [_transition_pre(indexed, k) for k in range(len(indexed.deltas))]
 
     basis: List[Tuple[int, ...]] = _minimise([tuple(int(x) for x in target)])
-    for _ in range(iteration_budget):
-        new_elements: List[Tuple[int, ...]] = []
-        for m in basis:
-            for k in indexed.non_silent:
-                delta = indexed.deltas[k]
-                pre = pres[k]
-                candidate = tuple(max(p, x - d) for p, x, d in zip(pre, m, delta))
-                if not any(_leq(b, candidate) for b in basis):
-                    new_elements.append(candidate)
-        if not new_elements:
-            return basis
-        basis = _minimise(basis + new_elements)
+    with get_tracer().span(
+        "coverability.backward", states=indexed.n, iteration_budget=iteration_budget
+    ) as span:
+        meter = progress("backward-coverability", lambda: {"basis": len(basis)})
+        for _ in range(iteration_budget):
+            meter.tick()
+            span.add("rounds")
+            new_elements: List[Tuple[int, ...]] = []
+            for m in basis:
+                for k in indexed.non_silent:
+                    delta = indexed.deltas[k]
+                    pre = pres[k]
+                    candidate = tuple(max(p, x - d) for p, x, d in zip(pre, m, delta))
+                    if not any(_leq(b, candidate) for b in basis):
+                        new_elements.append(candidate)
+            if not new_elements:
+                meter.finish()
+                span.add("basis", len(basis))
+                return basis
+            basis = _minimise(basis + new_elements)
+        span.add("budget_exceeded")
     raise SearchBudgetExceeded(
         f"backward coverability did not stabilise within {iteration_budget} rounds"
     )

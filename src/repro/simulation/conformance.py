@@ -48,7 +48,9 @@ from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 from ..core.errors import ConfigurationError
 from ..core.multiset import Multiset
 from ..core.protocol import PopulationProtocol, _pair
+from ..obs import get_tracer
 from .fast import BatchScheduler
+from .instrumentation import Instrumentation, InstrumentationSnapshot
 from .scheduler import AgentListScheduler, CountScheduler
 
 __all__ = [
@@ -503,6 +505,8 @@ class ConformanceReport:
     batch_distribution_ok: bool
     trajectories: Tuple[TrajectoryCheck, ...]
     matched_seed: MatchedSeedCheck
+    seed: Optional[int] = None
+    instrumentation: Optional[InstrumentationSnapshot] = None
 
     @property
     def ok(self) -> bool:
@@ -519,11 +523,18 @@ class ConformanceReport:
             "population": self.population,
             "samples": self.samples,
             "significance": self.significance,
+            # The RNG seed and the work counters make the artifact
+            # self-describing: the exact run can be reproduced and the
+            # amount of sampling behind each verdict is recorded.
+            "seed": self.seed,
             "first_step": [r.to_dict() for r in self.first_step],
             "batch_distribution_error": self.batch_distribution_error,
             "batch_distribution_ok": self.batch_distribution_ok,
             "trajectories": [t.to_dict() for t in self.trajectories],
             "matched_seed": self.matched_seed.to_dict(),
+            "instrumentation": (
+                self.instrumentation.as_dict() if self.instrumentation is not None else None
+            ),
             "ok": self.ok,
         }
 
@@ -619,53 +630,69 @@ def check_conformance(
     analytic_deltas = analytic_delta_distribution(protocol, initial)
     index = protocol.indexed().index
 
-    first_step: List[ChiSquaredResult] = []
-    for name, scheduler_class in (("agent-list", AgentListScheduler), ("count", CountScheduler)):
-        scheduler = scheduler_class(protocol, seed=seed)
-        pairs, deltas = _sample_exact_first_steps(scheduler, inputs, samples, index)
-        first_step.append(
-            _chi_squared_test(name, "pair", pairs, analytic_pairs, samples, significance)
-        )
-        first_step.append(
-            _chi_squared_test(name, "delta", deltas, analytic_deltas, samples, significance)
-        )
-    batch = BatchScheduler(protocol, seed=seed)
-    batch_deltas = _sample_batch_first_steps(batch, inputs, samples)
-    first_step.append(
-        _chi_squared_test("batch", "delta", batch_deltas, analytic_deltas, samples, significance)
+    harness = Instrumentation()
+    span_cm = get_tracer().span(
+        "conformance.check", protocol=protocol.name, population=initial.size, seed=seed
     )
+    with span_cm, harness.phase("conformance"):
+        first_step: List[ChiSquaredResult] = []
+        with harness.phase("first_step"):
+            for name, scheduler_class in (("agent-list", AgentListScheduler), ("count", CountScheduler)):
+                scheduler = scheduler_class(protocol, seed=seed)
+                pairs, deltas = _sample_exact_first_steps(scheduler, inputs, samples, index)
+                harness.add("first_step_samples", samples)
+                first_step.append(
+                    _chi_squared_test(name, "pair", pairs, analytic_pairs, samples, significance)
+                )
+                first_step.append(
+                    _chi_squared_test(name, "delta", deltas, analytic_deltas, samples, significance)
+                )
+            batch = BatchScheduler(protocol, seed=seed)
+            batch_deltas = _sample_batch_first_steps(batch, inputs, samples)
+            harness.add("first_step_samples", samples)
+            first_step.append(
+                _chi_squared_test("batch", "delta", batch_deltas, analytic_deltas, samples, significance)
+            )
 
-    # The batch scheduler's sampling distribution is available in closed
-    # form — compare it against the analytic one exactly, not just
-    # statistically.
-    batch.reset(inputs)
-    keys, probabilities, inert = batch.pair_distribution()
-    error = 0.0
-    registered_mass = 0.0
-    for key, probability in zip(keys, probabilities):
-        expected = analytic_pairs.get(key, 0.0)
-        registered_mass += expected
-        error = max(error, abs(float(probability) - expected))
-    error = max(error, abs(inert - (1.0 - registered_mass)))
-    batch_ok = error < 1e-9
+        # The batch scheduler's sampling distribution is available in closed
+        # form — compare it against the analytic one exactly, not just
+        # statistically.
+        batch.reset(inputs)
+        keys, probabilities, inert = batch.pair_distribution()
+        error = 0.0
+        registered_mass = 0.0
+        for key, probability in zip(keys, probabilities):
+            expected = analytic_pairs.get(key, 0.0)
+            registered_mass += expected
+            error = max(error, abs(float(probability) - expected))
+        error = max(error, abs(inert - (1.0 - registered_mass)))
+        batch_ok = error < 1e-9
 
-    trajectories = [
-        _check_exact_trajectories(
-            protocol, AgentListScheduler, "agent-list", inputs, trajectory_seeds, trajectory_steps
-        ),
-        _check_exact_trajectories(
-            protocol, CountScheduler, "count", inputs, trajectory_seeds, trajectory_steps
-        ),
-        _check_batch_trajectories(
-            protocol,
-            inputs,
-            trajectory_seeds,
-            trajectory_steps,
-            leap_size=max(1, initial.size // 10),
-        ),
-    ]
+        with harness.phase("trajectories"):
+            trajectories = [
+                _check_exact_trajectories(
+                    protocol, AgentListScheduler, "agent-list", inputs, trajectory_seeds, trajectory_steps
+                ),
+                _check_exact_trajectories(
+                    protocol, CountScheduler, "count", inputs, trajectory_seeds, trajectory_steps
+                ),
+                _check_batch_trajectories(
+                    protocol,
+                    inputs,
+                    trajectory_seeds,
+                    trajectory_steps,
+                    leap_size=max(1, initial.size // 10),
+                ),
+            ]
+        harness.add(
+            "trajectory_interactions", sum(t.steps_checked for t in trajectories)
+        )
 
-    matched = _check_matched_seeds(protocol, inputs, matched_seeds, max_steps, compare_verdicts)
+        with harness.phase("matched_seeds"):
+            matched = _check_matched_seeds(
+                protocol, inputs, matched_seeds, max_steps, compare_verdicts
+            )
+        harness.add("matched_seed_runs", 2 * len(matched.seeds))
 
     return ConformanceReport(
         protocol=protocol.name,
@@ -677,4 +704,6 @@ def check_conformance(
         batch_distribution_ok=batch_ok,
         trajectories=tuple(trajectories),
         matched_seed=matched,
+        seed=seed,
+        instrumentation=harness.snapshot(),
     )

@@ -39,6 +39,7 @@ import numpy as np
 from ..core.errors import ProtocolError
 from ..core.multiset import Multiset
 from ..core.protocol import PopulationProtocol, _pair
+from ..obs import get_tracer, progress
 from .instrumentation import Instrumentation
 from .scheduler import SimulationResult, _is_silent_consensus
 
@@ -219,19 +220,33 @@ class BatchScheduler:
         interactions = 0
         converged = False
         silent_checks = 0
-        with self.instrumentation.phase("run"):
+        meter = progress(
+            "simulate-batch", lambda: {"interactions": interactions, "population": n}
+        )
+        with self.instrumentation.phase("run"), get_tracer().span(
+            "simulate.run",
+            scheduler=type(self).__name__,
+            population=n,
+            leap_size=leap_size,
+        ) as span:
             while interactions < budget:
                 if stop_on_silent_consensus:
                     silent_checks += 1
                     if _is_silent_consensus(self.protocol, self.configuration):
                         converged = True
                         break
-                interactions += self.leap(min(leap_size, budget - interactions))
+                done = self.leap(min(leap_size, budget - interactions))
+                interactions += done
+                meter.tick(done)
             else:
                 if stop_on_silent_consensus:
                     silent_checks += 1
                     if _is_silent_consensus(self.protocol, self.configuration):
                         converged = True
+            meter.finish()
+            span.add("interactions", interactions)
+            span.add("silent_checks", silent_checks)
+            span.set(converged=converged)
         self.instrumentation.add("interactions", interactions)
         self.instrumentation.add("silent_checks", silent_checks)
         return SimulationResult(

@@ -1,95 +1,14 @@
-"""Lightweight instrumentation for the simulation stack.
+"""Back-compat shim: instrumentation moved to :mod:`repro.obs.metrics`.
 
-Every scheduler (exact, batched, fault-injecting) carries an
-:class:`Instrumentation` object that accumulates named counters and
-wall-clock phase timers.  The counters make internal events observable
-— how many tau-leaps were rejected and halved, how often the exact
-single-step fallback fired, how many silent-consensus checks a run
-performed, how many no-op interactions a fault run fast-forwarded over
-— so that "cannot happen" claims and amortisation arguments can be
-checked empirically instead of trusted.
-
-The conventions keep the hot paths cheap:
-
-* per-*interaction* work is never counted one increment at a time;
-  the run loops add aggregates (``interactions``, ``silent_checks``)
-  once per run or per leap;
-* schedulers reset their instrumentation in ``reset``, so counters
-  describe the most recent run;
-* results carry an immutable :class:`InstrumentationSnapshot`, not the
-  live object, so stored results do not mutate under later runs.
+The counters/timers layer started life here, simulation-only; it is
+now the metrics half of the :mod:`repro.obs` observability subsystem,
+shared by the simulators and the analysis searches.  Import from
+``repro.obs`` in new code; this module keeps the historical names
+importable.
 """
 
 from __future__ import annotations
 
-import time
-from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, Mapping
+from ..obs.metrics import Instrumentation, InstrumentationSnapshot
 
 __all__ = ["Instrumentation", "InstrumentationSnapshot"]
-
-
-@dataclass(frozen=True)
-class InstrumentationSnapshot:
-    """An immutable copy of counters and phase timers at one instant."""
-
-    counters: Mapping[str, int] = field(default_factory=dict)
-    timers: Mapping[str, float] = field(default_factory=dict)
-
-    def as_dict(self) -> Dict[str, Dict[str, float]]:
-        """Plain-dict form for JSON reports."""
-        return {"counters": dict(self.counters), "timers": dict(self.timers)}
-
-    def counter(self, name: str) -> int:
-        """The value of one counter (0 when never incremented)."""
-        return self.counters.get(name, 0)
-
-
-class Instrumentation:
-    """Named counters plus wall-clock phase timers.
-
-    >>> inst = Instrumentation()
-    >>> inst.add("leaps")
-    >>> inst.add("interactions", 500)
-    >>> with inst.phase("run"):
-    ...     pass
-    >>> inst.snapshot().counter("interactions")
-    500
-    """
-
-    def __init__(self) -> None:
-        self.counters: Dict[str, int] = {}
-        self.timers: Dict[str, float] = {}
-
-    def add(self, name: str, value: int = 1) -> None:
-        """Increment a counter (created at zero on first use)."""
-        self.counters[name] = self.counters.get(name, 0) + value
-
-    @contextmanager
-    def phase(self, name: str) -> Iterator[None]:
-        """Accumulate wall-clock time of the enclosed block under ``name``."""
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            elapsed = time.perf_counter() - start
-            self.timers[name] = self.timers.get(name, 0.0) + elapsed
-
-    def clear(self) -> None:
-        """Drop all counters and timers (called by scheduler ``reset``)."""
-        self.counters.clear()
-        self.timers.clear()
-
-    def merge(self, other: "InstrumentationSnapshot") -> None:
-        """Fold a snapshot into this object (ensemble aggregation)."""
-        for name, value in other.counters.items():
-            self.add(name, value)
-        for name, value in other.timers.items():
-            self.timers[name] = self.timers.get(name, 0.0) + value
-
-    def snapshot(self) -> InstrumentationSnapshot:
-        """An immutable copy of the current state."""
-        return InstrumentationSnapshot(
-            counters=dict(self.counters), timers=dict(self.timers)
-        )

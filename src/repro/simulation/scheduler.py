@@ -32,6 +32,7 @@ from typing import Dict, Hashable, List, Mapping, Optional, Tuple, Union
 from ..core.errors import ProtocolError
 from ..core.multiset import Multiset
 from ..core.protocol import IndexedProtocol, PopulationProtocol
+from ..obs import get_tracer, progress
 from .instrumentation import Instrumentation, InstrumentationSnapshot
 
 __all__ = ["StepOutcome", "AgentListScheduler", "CountScheduler", "SimulationResult"]
@@ -232,10 +233,21 @@ def _run_loop(scheduler, max_steps: int, stop_on_silent_consensus: bool) -> Simu
     silent_checks = 0
     interactions = 0
     converged = False
-    with instrumentation.phase("run"):
+    # Observability rides the silent-check cadence (one tick per
+    # `check_every` interactions), never the per-interaction hot path.
+    meter = progress(
+        "simulate", lambda: {"interactions": interactions, "population": population}
+    )
+    with instrumentation.phase("run"), get_tracer().span(
+        "simulate.run",
+        scheduler=type(scheduler).__name__,
+        population=population,
+        max_steps=max_steps,
+    ) as span:
         while interactions < max_steps:
             if stop_on_silent_consensus and interactions % check_every == 0:
                 silent_checks += 1
+                meter.tick(check_every)
                 if _is_silent_consensus(protocol, scheduler.configuration):
                     converged = True
                     break
@@ -246,6 +258,10 @@ def _run_loop(scheduler, max_steps: int, stop_on_silent_consensus: bool) -> Simu
                 silent_checks += 1
                 if _is_silent_consensus(protocol, scheduler.configuration):
                     converged = True
+        meter.finish()
+        span.add("interactions", interactions)
+        span.add("silent_checks", silent_checks)
+        span.set(converged=converged)
     instrumentation.add("interactions", interactions)
     instrumentation.add("silent_checks", silent_checks)
     return SimulationResult(

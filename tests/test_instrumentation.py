@@ -55,6 +55,38 @@ class TestInstrumentation:
         assert snapshot.counter("steps") == 1
         assert snapshot.as_dict() == {"counters": {"steps": 1}, "timers": {}}
 
+    def test_nested_same_phase_not_double_counted(self):
+        # Regression: a re-entered phase name used to add the inner
+        # elapsed time twice (once at the inner exit, once more inside
+        # the outer exit's elapsed). Only the outermost block counts.
+        import time
+
+        inst = Instrumentation()
+        with inst.phase("work"):
+            start = time.perf_counter()
+            with inst.phase("work"):
+                while time.perf_counter() - start < 0.01:
+                    pass
+        assert 0.01 <= inst.timers["work"] < 0.02
+
+    def test_nested_same_phase_triple_depth(self):
+        inst = Instrumentation()
+        with inst.phase("w"):
+            with inst.phase("w"):
+                with inst.phase("w"):
+                    pass
+        # exactly one accumulation, and the depth bookkeeping is clean
+        assert list(inst.timers) == ["w"]
+        assert inst._phase_depth == {}
+
+    def test_distinct_phases_unaffected(self):
+        inst = Instrumentation()
+        with inst.phase("outer"):
+            with inst.phase("inner"):
+                pass
+        assert set(inst.timers) == {"outer", "inner"}
+        assert inst.timers["outer"] >= inst.timers["inner"]
+
 
 class TestSchedulerInstrumentation:
     def test_count_run_reports_interactions(self, threshold4):

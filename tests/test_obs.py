@@ -1,0 +1,419 @@
+"""Tests for the observability subsystem (``repro.obs``).
+
+Covers the tracer (nesting, ids, attributes, counters, error
+annotation), both exporters round-tripped through ``load_trace``, the
+progress heartbeat layer, the metrics registry, and the end-to-end CLI
+contract: ``repro analyze --trace`` produces a file that is valid
+JSON, records the expected span nesting, and is consumable by
+``repro trace summarize``.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import (
+    ChromeTraceExporter,
+    Instrumentation,
+    JsonlExporter,
+    NULL_TRACER,
+    ProgressMeter,
+    Tracer,
+    clear_registry,
+    disable_progress,
+    enable_progress,
+    exporter_for_path,
+    get_metrics,
+    get_tracer,
+    load_trace,
+    progress,
+    progress_enabled,
+    registry_snapshot,
+    set_tracer,
+    summarize_trace,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    """Isolate the module-global tracer/progress/registry per test."""
+    previous = set_tracer(None)
+    disable_progress()
+    clear_registry()
+    yield
+    set_tracer(previous)
+    disable_progress()
+    clear_registry()
+
+
+class TestTracer:
+    def test_nesting_parent_and_depth(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+                assert inner.depth == 1
+                assert tracer.current() is inner
+            assert tracer.current() is outer
+        assert tracer.current() is None
+        assert tracer.finished_spans == 2
+        assert outer.duration_us >= inner.duration_us
+
+    def test_span_ids_unique_and_increasing(self):
+        tracer = Tracer()
+        ids = []
+        for _ in range(3):
+            with tracer.span("s") as span:
+                ids.append(span.span_id)
+        assert ids == sorted(set(ids))
+
+    def test_attributes_and_counters(self):
+        tracer = Tracer()
+        with tracer.span("work", size=4) as span:
+            span.set(states=7)
+            span.add("rounds")
+            span.add("rounds", 2)
+        assert span.attributes == {"size": 4, "states": 7}
+        assert span.counters == {"rounds": 3}
+
+    def test_exception_annotates_and_closes(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("failing") as span:
+                raise ValueError("boom")
+        assert span.attributes["error"] == "ValueError"
+        assert span.end_us is not None
+        assert tracer.current() is None
+
+    def test_close_finishes_leftover_spans(self):
+        tracer = Tracer()
+        tracer.span("left-open")
+        tracer.span("also-open")
+        tracer.close()
+        assert tracer.finished_spans == 2
+        assert tracer.current() is None
+
+    def test_finished_spans_fold_into_metrics_registry(self):
+        tracer = Tracer()
+        with tracer.span("fold.me") as span:
+            span.add("items", 5)
+        metrics = get_metrics("spans").snapshot()
+        assert metrics.counter("fold.me.items") == 5
+        assert "fold.me" in metrics.timers
+
+    def test_reentrant_name_counts_outer_only_in_registry(self):
+        tracer = Tracer()
+        with tracer.span("again"):
+            with tracer.span("again"):
+                pass
+        timers = get_metrics("spans").snapshot().timers
+        # one accumulation (the outer), not outer + inner
+        with tracer.span("again") as third:
+            pass
+        total = get_metrics("spans").snapshot().timers["again"]
+        assert total >= timers["again"]
+
+    def test_null_tracer_is_default_and_reused(self):
+        assert get_tracer() is NULL_TRACER
+        span_a = NULL_TRACER.span("anything", k=1)
+        span_b = NULL_TRACER.span("else")
+        assert span_a is span_b  # shared no-op: no allocation per call
+        with span_a as span:
+            span.set(x=1)
+            span.add("n")
+        NULL_TRACER.event("heartbeat")
+        NULL_TRACER.close()
+        assert NULL_TRACER.current() is None
+        assert not NULL_TRACER.enabled
+
+    def test_set_tracer_returns_previous(self):
+        tracer = Tracer()
+        previous = set_tracer(tracer)
+        assert previous is NULL_TRACER
+        assert get_tracer() is tracer
+        assert set_tracer(None) is tracer
+        assert get_tracer() is NULL_TRACER
+
+
+class TestExporters:
+    def _emit_sample(self, exporter):
+        tracer = Tracer([exporter])
+        with tracer.span("root", protocol="binary:4"):
+            with tracer.span("child") as child:
+                child.add("steps", 3)
+            tracer.event("heartbeat:child", iterations=3)
+        tracer.close()
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        self._emit_sample(JsonlExporter(path))
+        lines = [json.loads(line) for line in open(path)]
+        assert lines[0] == {"type": "meta", "format": "repro-trace", "version": 1}
+        kinds = [line["type"] for line in lines[1:]]
+        assert kinds == ["span", "event", "span"]  # child closes before root
+        records = load_trace(path)
+        assert [r.name for r in records] == ["child", "root"]
+        child, root = records
+        assert child.parent_id == root.span_id
+        assert child.depth == 1 and root.depth == 0
+        assert child.counters == {"steps": 3}
+        assert root.attributes == {"protocol": "binary:4"}
+
+    def test_chrome_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        self._emit_sample(ChromeTraceExporter(path))
+        document = json.loads(open(path).read())  # must be one valid document
+        assert set(document) == {"traceEvents", "displayTimeUnit"}
+        phases = [e["ph"] for e in document["traceEvents"]]
+        assert phases == ["M", "X", "i", "X"]  # metadata, spans, heartbeat
+        records = load_trace(path)
+        assert {r.name for r in records} == {"root", "child"}
+        child = next(r for r in records if r.name == "child")
+        root = next(r for r in records if r.name == "root")
+        assert child.parent_id == root.span_id
+        assert child.counters == {"steps": 3}
+        assert root.dur_us >= child.dur_us
+
+    def test_exporter_for_path_dispatches_on_extension(self, tmp_path):
+        assert isinstance(
+            exporter_for_path(str(tmp_path / "a.jsonl")), JsonlExporter
+        )
+        assert isinstance(
+            exporter_for_path(str(tmp_path / "a.json")), ChromeTraceExporter
+        )
+
+    def test_non_jsonable_attributes_coerced(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        tracer = Tracer([JsonlExporter(path)])
+        with tracer.span("s", config=(1, 2)):
+            pass
+        tracer.close()
+        (record,) = load_trace(path)
+        assert record.attributes["config"] == "(1, 2)"
+
+
+class TestSummarize:
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert load_trace(str(path)) == []
+        assert "empty trace" in summarize_trace([])
+
+    def test_self_time_subtracts_children(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        tracer = Tracer([JsonlExporter(path)])
+        with tracer.span("parent"):
+            with tracer.span("kid"):
+                pass
+        tracer.close()
+        records = load_trace(path)
+        text = summarize_trace(records)
+        assert "2 spans, 2 distinct names, max depth 1" in text
+        assert "parent" in text and "kid" in text
+        # parent self-time excludes the child's duration
+        kid = next(r for r in records if r.name == "kid")
+        parent = next(r for r in records if r.name == "parent")
+        assert parent.dur_us >= kid.dur_us
+
+    def test_reentrant_names_not_double_counted(self):
+        from repro.obs.summary import SpanRecord
+
+        # same name nested: outer 100us contains inner 60us
+        records = [
+            SpanRecord("loop", 2, 1, 1, 10.0, 60.0),
+            SpanRecord("loop", 1, None, 0, 0.0, 100.0),
+        ]
+        text = summarize_trace(records)
+        row = next(line for line in text.splitlines() if line.startswith("loop"))
+        # total sums both instances; self removes the nested one exactly once
+        assert "0.000s" in row  # 160us total and 100us self both round to 0.000s
+        assert " 2 " in row
+
+
+class TestProgress:
+    def test_disabled_returns_shared_null_meter(self):
+        assert not progress_enabled()
+        meter_a = progress("loop")
+        meter_b = progress("other")
+        assert meter_a is meter_b
+        meter_a.tick()
+        meter_a.finish()  # all no-ops
+
+    def test_enabled_returns_real_meter(self):
+        stream = io.StringIO()
+        enable_progress(stream=stream, interval=0.5)
+        assert progress_enabled()
+        meter = progress("loop")
+        assert isinstance(meter, ProgressMeter)
+        assert meter._interval == 0.5
+
+    def test_heartbeat_line_and_trace_event(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        tracer = Tracer([JsonlExporter(path)])
+        set_tracer(tracer)
+        stream = io.StringIO()
+        meter = ProgressMeter(
+            "karp-miller",
+            stats=lambda: {"frontier": 7},
+            interval=0.0,
+            stride=1,
+            stream=stream,
+        )
+        meter.tick(5)
+        tracer.close()
+        line = stream.getvalue()
+        assert line.startswith("[karp-miller] ")
+        assert "5 iterations" in line and "frontier=7" in line
+        events = [
+            json.loads(raw)
+            for raw in open(path)
+            if json.loads(raw).get("type") == "event"
+        ]
+        assert events and events[0]["name"] == "heartbeat:karp-miller"
+        assert events[0]["attrs"]["iterations"] == 5
+        assert events[0]["attrs"]["frontier"] == 7
+
+    def test_interval_rate_limits(self):
+        stream = io.StringIO()
+        meter = ProgressMeter("slow", interval=3600.0, stride=1, stream=stream)
+        for _ in range(100):
+            meter.tick()
+        assert stream.getvalue() == ""
+        assert meter.heartbeats == 0
+
+    def test_finish_emits_trailing_heartbeat(self):
+        stream = io.StringIO()
+        meter = ProgressMeter("loop", interval=0.0, stride=1, stream=stream)
+        meter.tick()  # first heartbeat
+        meter._interval = 3600.0
+        meter.tick(10)  # suppressed
+        meter.finish()  # flushes the counted-but-unreported ticks
+        assert meter.heartbeats == 2
+        assert "11 iterations" in stream.getvalue().splitlines()[-1]
+
+
+class TestMetricsRegistry:
+    def test_get_metrics_is_singleton_per_name(self):
+        assert get_metrics("sim") is get_metrics("sim")
+        assert get_metrics("sim") is not get_metrics("other")
+        assert isinstance(get_metrics("sim"), Instrumentation)
+
+    def test_registry_snapshot_and_clear(self):
+        get_metrics("a").add("hits", 2)
+        snapshot = registry_snapshot()
+        assert snapshot["a"].counter("hits") == 2
+        clear_registry()
+        # identities survive (callers hold references); contents reset
+        assert registry_snapshot()["a"].counter("hits") == 0
+
+
+class TestCliRoundTrip:
+    """End-to-end: --trace from a real analyze run, then summarize it."""
+
+    PIPELINE_SPANS = {
+        "coverability.karp_miller",
+        "saturation.sequence",
+        "stable.slice",
+        "pipeline.stable_sequence",
+    }
+
+    def _analyze(self, trace_path, capsys):
+        code = main(
+            ["analyze", "binary:3", "--max-input", "4", "--trace", trace_path]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "spans written to" in err
+        return load_trace(trace_path)
+
+    @pytest.mark.parametrize("suffix", ["json", "jsonl"])
+    def test_analyze_trace_schema_and_nesting(self, tmp_path, capsys, suffix):
+        records = self._analyze(str(tmp_path / f"out.{suffix}"), capsys)
+        names = {r.name for r in records}
+        # coverability, saturation, and stable-basis phases all present
+        assert self.PIPELINE_SPANS <= names
+        assert "analyze" in names
+        by_id = {r.span_id: r for r in records}
+        roots = [r for r in records if r.parent_id is None]
+        assert [r.name for r in roots] == ["analyze"]
+        for record in records:
+            assert record.dur_us >= 0.0
+            if record.parent_id is None:
+                assert record.depth == 0
+                continue
+            parent = by_id[record.parent_id]
+            assert record.depth == parent.depth + 1
+            # child intervals sit inside the parent's
+            assert record.start_us >= parent.start_us
+            assert record.start_us + record.dur_us <= (
+                parent.start_us + parent.dur_us + 1.0  # rounding slack (us)
+            )
+        km = next(r for r in records if r.name == "coverability.karp_miller")
+        assert {"states", "transitions", "node_budget"} <= set(km.attributes) | set(
+            km.counters
+        )
+        assert max(r.depth for r in records) >= 2
+
+    def test_trace_summarize_command(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "out.json")
+        self._analyze(trace_path, capsys)
+        assert main(["trace", "summarize", trace_path]) == 0
+        out = capsys.readouterr().out
+        assert "distinct names" in out
+        for name in self.PIPELINE_SPANS:
+            assert name in out
+
+    def test_trace_summarize_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read trace"):
+            main(["trace", "summarize", str(tmp_path / "nope.json")])
+
+    def test_tracer_restored_after_command(self, tmp_path, capsys):
+        self._analyze(str(tmp_path / "out.json"), capsys)
+        assert get_tracer() is NULL_TRACER
+
+    def test_simulate_json_carries_seed_and_instrumentation(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "binary:3",
+                "--input",
+                "4",
+                "--seed",
+                "7",
+                "--max-steps",
+                "50000",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["seed"] == 7
+        counters = payload["instrumentation"]["counters"]
+        assert counters["interactions"] == payload["interactions"]
+
+    def test_conformance_json_carries_seed_and_instrumentation(self, capsys):
+        code = main(
+            [
+                "conformance",
+                "majority",
+                "--input",
+                "x=3,y=2",
+                "--samples",
+                "50",
+                "--trajectory-seeds",
+                "1",
+                "--seed",
+                "3",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["seed"] == 3
+        counters = payload["instrumentation"]["counters"]
+        assert counters["first_step_samples"] > 0
+        assert "conformance" in payload["instrumentation"]["timers"]
