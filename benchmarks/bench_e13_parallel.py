@@ -1,0 +1,93 @@
+"""E13 — parallel backend scaling and the determinism contract.
+
+The parallel backend (PR 3) may only claim speed because
+``tests/test_parallel.py`` first pins that results are bit-identical
+for every worker count.  This bench measures what the parallelism
+actually buys on the current host: the busy-beaver enumeration and a
+conformance sweep at ``jobs = 1, 2, 4``, reported as wall-clock and
+speedup over the serial reference.
+
+Interpretation caveat: speedup depends on the host's core count.  On a
+single-core container ``jobs = 2`` *cannot* beat serial (expect ~1x
+minus pool overhead); the EXPERIMENTS.md E13 table records numbers
+from a multi-core host.  The assertions here therefore gate only on
+correctness (identical results), never on a speedup factor.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.bounds.enumeration import busy_beaver_search
+from repro.fmt import render_table, section
+from repro.protocols import binary_threshold
+from repro.simulation.conformance import check_conformance
+from repro.simulation.ensembles import run_ensemble
+
+JOBS = (1, 2, 4)
+
+
+def _timed(fn, *args, **kwargs):
+    start = time.perf_counter()
+    value = fn(*args, **kwargs)
+    return value, time.perf_counter() - start
+
+
+def test_e13_bb_timing(benchmark):
+    result = benchmark(busy_beaver_search, 2, 8, 3, 1_000_000, 2)
+    assert result.eta == 2
+
+
+def test_e13_scaling_report():
+    protocol = binary_threshold(4)
+    rows = []
+
+    bb_results, bb_times = {}, {}
+    for jobs in JOBS:
+        bb_results[jobs], bb_times[jobs] = _timed(
+            busy_beaver_search, 2, max_input=8, jobs=jobs
+        )
+    conf_results, conf_times = {}, {}
+    for jobs in JOBS:
+        conf_results[jobs], conf_times[jobs] = _timed(
+            check_conformance, protocol, 8, samples=2000, jobs=jobs
+        )
+    ens_results, ens_times = {}, {}
+    for jobs in JOBS:
+        ens_results[jobs], ens_times[jobs] = _timed(
+            run_ensemble, protocol, 30, trials=200, seed=0, jobs=jobs
+        )
+
+    # The determinism contract: every worker count, same answer.
+    assert all(bb_results[jobs] == bb_results[1] for jobs in JOBS)
+    assert all(
+        conf_results[jobs].first_step == conf_results[1].first_step
+        and conf_results[jobs].ok == conf_results[1].ok
+        for jobs in JOBS
+    )
+    assert all(
+        ens_results[jobs].verdicts == ens_results[1].verdicts
+        and ens_results[jobs].parallel_times == ens_results[1].parallel_times
+        for jobs in JOBS
+    )
+
+    for label, times in (
+        ("bb 2 (216 protocols)", bb_times),
+        ("conformance (2000 samples)", conf_times),
+        ("ensemble (200 trials)", ens_times),
+    ):
+        for jobs in JOBS:
+            rows.append(
+                [
+                    label,
+                    jobs,
+                    f"{times[jobs]:.3f}s",
+                    f"{times[1] / times[jobs]:.2f}x",
+                ]
+            )
+
+    print(section(f"E13 — parallel scaling on this host ({os.cpu_count()} cores)"))
+    print(render_table(["sweep", "jobs", "wall clock", "speedup vs serial"], rows))
+    print("results are bit-identical at every worker count (asserted above);")
+    print("speedup is host-dependent — see EXPERIMENTS.md E13 for the reference table.")

@@ -9,13 +9,20 @@ and this module does so:
 * :func:`all_deterministic_protocols` — every complete deterministic
   single-input protocol over ``n`` states (up to the choice of input
   state and output assignment);
+* :func:`protocol_at` / :func:`count_deterministic_protocols` — random
+  access into the same enumeration by mixed-radix index decoding, so a
+  worker can regenerate any contiguous chunk without replaying the
+  whole stream (the substrate of the parallel search);
 * :func:`threshold_behaviour` — the verdict pattern of a protocol over
   inputs ``2 .. max_input``; returns the threshold it *appears* to
   compute, or ``None`` for non-threshold behaviour (no consensus, or a
   non-monotone verdict pattern);
 * :func:`busy_beaver_search` — the largest apparent threshold over the
   enumeration, with every winner cross-examined by a Section 4
-  pumping certificate.
+  pumping certificate.  ``jobs > 1`` distributes contiguous chunks of
+  the index space over a process pool; chunk outcomes merge in index
+  order, so the result is bit-identical for every worker count and
+  chunk size (enforced by ``tests/test_parallel.py``).
 
 Semantics note: a population has at least two agents, so the
 predicates ``x >= 1`` and ``x >= 2`` are indistinguishable from the
@@ -31,20 +38,73 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, TypeVar
 
 from ..core.multiset import Multiset
 from ..core.protocol import PopulationProtocol, Transition
 from ..analysis.verification import verify_input
 from ..obs import get_tracer, progress
+from ..parallel import TaskEnvelope, chunk_ranges, default_chunk_size, run_tasks
 from .pipeline import section4_certificate
 
 __all__ = [
     "all_deterministic_protocols",
+    "count_deterministic_protocols",
+    "protocol_at",
     "threshold_behaviour",
     "busy_beaver_search",
     "BusyBeaverSearchResult",
+    "BusyBeaverChunk",
+    "fold_threshold_candidates",
+    "merge_busy_beaver_chunks",
 ]
+
+
+def count_deterministic_protocols(n: int) -> int:
+    """``n * 2^n * (n(n+1)/2)^(n(n+1)/2)`` — the exact enumeration size."""
+    if n < 1:
+        raise ValueError(f"need n >= 1, got {n}")
+    pairs = n * (n + 1) // 2
+    return n * (2 ** n) * (pairs ** pairs)
+
+
+def protocol_at(n: int, index: int) -> PopulationProtocol:
+    """The ``index``-th protocol of :func:`all_deterministic_protocols`.
+
+    Decodes the index through the same nested-loop order the generator
+    uses — input state outermost, then the output assignment (first
+    state's bit most significant), then one post-pair per pre-pair in
+    mixed radix (last pair varying fastest) — so
+    ``protocol_at(n, i) == nth element of all_deterministic_protocols(n)``
+    including the ``enum[n]#i+1`` name.  O(n^2) per call: chunk workers
+    regenerate their slice without replaying the prefix.
+    """
+    total = count_deterministic_protocols(n)
+    if not 0 <= index < total:
+        raise ValueError(f"index {index} outside enumeration of size {total}")
+    states = tuple(range(n))
+    pairs = list(itertools.combinations_with_replacement(states, 2))
+    k = len(pairs)
+    post_block = k ** k
+    output_block = post_block * (2 ** n)
+    input_state, rest = divmod(index, output_block)
+    output_bits, posts_code = divmod(rest, post_block)
+    outputs = tuple((output_bits >> (n - 1 - i)) & 1 for i in range(n))
+    post_indices = []
+    for position in range(k):
+        post_indices.append(posts_code // (k ** (k - 1 - position)) % k)
+    transitions = tuple(
+        Transition(p, q, *pairs[choice])
+        for (p, q), choice in zip(pairs, post_indices)
+    )
+    return PopulationProtocol(
+        states=states,
+        transitions=transitions,
+        leaders=Multiset(),
+        input_mapping={"x": input_state},
+        output={s: b for s, b in zip(states, outputs)},
+        name=f"enum[{n}]#{index + 1}",
+    )
 
 
 def all_deterministic_protocols(n: int) -> Iterator[PopulationProtocol]:
@@ -52,8 +112,9 @@ def all_deterministic_protocols(n: int) -> Iterator[PopulationProtocol]:
 
     States are ``0 .. n-1``; all choices of input state, output
     assignment, and one post-pair per unordered pre-pair are generated.
-    The count is ``n * 2^n * (n(n+1)/2)^(n(n+1)/2)`` — use only for
-    tiny ``n``.
+    The count is :func:`count_deterministic_protocols` — use only for
+    tiny ``n``.  :func:`protocol_at` is the random-access view of the
+    same sequence (cross-checked in the test suite).
     """
     if n < 1:
         raise ValueError(f"need n >= 1, got {n}")
@@ -131,11 +192,118 @@ class BusyBeaverSearchResult:
     certified: bool
 
 
+@dataclass(frozen=True)
+class BusyBeaverChunk:
+    """One chunk's contribution: picklable, merged in index order."""
+
+    start: int
+    stop: int
+    best_eta: int
+    witnesses: Tuple[PopulationProtocol, ...]
+    threshold_protocols: int
+
+
+_T = TypeVar("_T")
+
+
+def fold_threshold_candidates(
+    candidates: Iterable[Tuple[_T, Optional[int]]],
+    max_witnesses: int,
+) -> Tuple[int, Tuple[_T, ...], int]:
+    """The serial busy-beaver fold over ``(item, eta)`` candidates.
+
+    Returns ``(best_eta, witnesses, threshold_count)`` with the exact
+    running-maximum semantics of the original search loop: a new best
+    resets the witness list, ties append up to ``max_witnesses``.  Both
+    the chunk workers and the merge step reuse this one fold, which is
+    what makes chunking associative (property-tested in the suite).
+    """
+    best = 0
+    witnesses: List[_T] = []
+    count = 0
+    for item, eta in candidates:
+        if eta is None:
+            continue
+        count += 1
+        if eta > best:
+            best = eta
+            witnesses = [item]
+        elif eta == best and len(witnesses) < max_witnesses:
+            witnesses.append(item)
+    return best, tuple(witnesses), count
+
+
+def merge_busy_beaver_chunks(
+    chunks: Sequence[BusyBeaverChunk], max_witnesses: int
+) -> Tuple[int, Tuple[PopulationProtocol, ...], int]:
+    """Merge chunk outcomes in index order; equals the unpartitioned fold.
+
+    A chunk's witnesses are the first ``<= max_witnesses`` protocols of
+    its own best ``eta`` in enumeration order, so replaying them as
+    candidates through :func:`fold_threshold_candidates` reconstructs
+    exactly the witnesses the serial loop would have kept — a chunk
+    whose best falls short of the global best contributes nothing, a
+    chunk that raises it resets the list, ties fill remaining slots.
+    """
+    best, witnesses, _ = fold_threshold_candidates(
+        (
+            (witness, chunk.best_eta)
+            for chunk in chunks
+            for witness in chunk.witnesses
+        ),
+        max_witnesses,
+    )
+    return best, witnesses, sum(chunk.threshold_protocols for chunk in chunks)
+
+
+def _search_chunk(task: TaskEnvelope) -> BusyBeaverChunk:
+    """Worker body: evaluate one contiguous index range."""
+    n, start, stop, max_input = task.payload
+    with get_tracer().span(
+        "bounds.busy_beaver.chunk", n=n, start=start, stop=stop
+    ) as span:
+        evaluated = 0
+        meter = progress(
+            "busy-beaver",
+            lambda: {"chunk": f"{start}:{stop}", "enumerated": evaluated},
+        )
+
+        def candidates() -> Iterator[Tuple[PopulationProtocol, Optional[int]]]:
+            nonlocal evaluated
+            for index in range(start, stop):
+                meter.tick()
+                evaluated += 1
+                protocol = protocol_at(n, index)
+                yield protocol, threshold_behaviour(protocol, max_input)
+
+        best, witnesses, count = fold_threshold_candidates(
+            candidates(),
+            # Chunks keep the full witness budget: the merge step cuts
+            # down to max_witnesses globally, in enumeration order.
+            max_witnesses=_CHUNK_MAX_WITNESSES,
+        )
+        meter.finish()
+        span.add("enumerated", stop - start)
+        span.add("threshold_protocols", count)
+        span.set(best_eta=best)
+    return BusyBeaverChunk(
+        start=start, stop=stop, best_eta=best, witnesses=witnesses,
+        threshold_protocols=count,
+    )
+
+
+#: Witnesses a chunk retains.  Must be >= every max_witnesses callers
+#: use, so the global merge never misses an in-order witness.
+_CHUNK_MAX_WITNESSES = 8
+
+
 def busy_beaver_search(
     n: int,
     max_input: int = 8,
     max_witnesses: int = 3,
     enumeration_budget: int = 1_000_000,
+    jobs: int = 1,
+    chunk_size: Optional[int] = None,
 ) -> BusyBeaverSearchResult:
     """Exhaustive bounded busy-beaver search over ``n``-state protocols.
 
@@ -143,38 +311,44 @@ def busy_beaver_search(
     (verdicts exact per input up to ``max_input``).  Winners get a
     Section 4 pumping certificate as corroboration that their true
     threshold cannot exceed the observed one.
+
+    ``jobs > 1`` partitions the index space into contiguous chunks
+    (``chunk_size`` indices each; a load-balanced default otherwise)
+    evaluated on a process pool; the merged result is identical to the
+    serial one for every ``jobs``/``chunk_size`` combination.
     """
-    best_eta = 0
-    witnesses: List[PopulationProtocol] = []
-    enumerated = 0
-    threshold_count = 0
+    if max_witnesses > _CHUNK_MAX_WITNESSES:
+        raise ValueError(
+            f"max_witnesses must be <= {_CHUNK_MAX_WITNESSES}, got {max_witnesses}"
+        )
+    total = count_deterministic_protocols(n)
+    evaluated = min(total, enumeration_budget)
+    # The historical loop broke *after* counting the first over-budget
+    # protocol; reproduce its reported tally exactly.
+    enumerated = evaluated if total <= enumeration_budget else enumeration_budget + 1
+    if chunk_size is None:
+        chunk_size = default_chunk_size(evaluated, jobs)
+    ranges = chunk_ranges(evaluated, chunk_size) if evaluated else []
+
     tracer = get_tracer()
     with tracer.span(
-        "bounds.busy_beaver", n=n, max_input=max_input, budget=enumeration_budget
+        "bounds.busy_beaver",
+        n=n,
+        max_input=max_input,
+        budget=enumeration_budget,
+        jobs=jobs,
+        chunks=len(ranges),
     ) as span:
-        meter = progress(
-            "busy-beaver",
-            lambda: {
-                "enumerated": enumerated,
-                "threshold": threshold_count,
-                "best_eta": best_eta,
-            },
+        envelopes = run_tasks(
+            _search_chunk,
+            [(n, start, stop, max_input) for start, stop in ranges],
+            jobs=jobs,
+            label="busy-beaver",
         )
-        for protocol in all_deterministic_protocols(n):
-            meter.tick()
-            enumerated += 1
-            if enumerated > enumeration_budget:
-                break
-            eta = threshold_behaviour(protocol, max_input)
-            if eta is None:
-                continue
-            threshold_count += 1
-            if eta > best_eta:
-                best_eta = eta
-                witnesses = [protocol]
-            elif eta == best_eta and len(witnesses) < max_witnesses:
-                witnesses.append(protocol)
-        meter.finish()
+        chunks = [envelope.value for envelope in envelopes]
+        best_eta, witnesses, threshold_count = merge_busy_beaver_chunks(
+            chunks, max_witnesses
+        )
         span.add("enumerated", enumerated)
         span.add("threshold_protocols", threshold_count)
         span.set(best_eta=best_eta)

@@ -40,6 +40,7 @@ from ..core.predicates import Predicate
 from ..core.protocol import PopulationProtocol
 from ..fmt import render_table, section
 from ..obs import get_tracer
+from ..parallel import TaskEnvelope, run_tasks
 from ..reachability.coverability import OMEGA, karp_miller
 from ..reachability.pseudo import input_state
 from .pipeline import section4_certificate, section5_certificate
@@ -47,11 +48,22 @@ from .pipeline import section4_certificate, section5_certificate
 __all__ = ["full_report"]
 
 
+def _classify_row(task: TaskEnvelope) -> List[object]:
+    """Classify one input size; always returns a printable table row."""
+    protocol, i, node_budget = task.payload
+    try:
+        result = classify_input(protocol, i, node_budget=node_budget)
+        return [i, result.convergence.value, result.verdict, result.bottom_scc_count]
+    except ReproError as error:
+        return [i, f"({error})", "-", "-"]
+
+
 def full_report(
     protocol: PopulationProtocol,
     predicate: Optional[Predicate] = None,
     max_input: int = 8,
     node_budget: int = 500_000,
+    jobs: int = 1,
 ) -> str:
     """Render the comprehensive analysis report (see module docstring)."""
     lines: List[str] = []
@@ -114,18 +126,17 @@ def full_report(
                     out(f"verification not applicable: {error}")
 
         # ------------------------------------------------------- convergence
-        with tracer.span("analyze.convergence"):
+        with tracer.span("analyze.convergence", jobs=jobs):
             out(section("Convergence classification"))
-            rows = []
             if single_input:
                 sample_inputs = list(range(2, min(max_input, 6) + 1))
-                for i in sample_inputs:
-                    try:
-                        result = classify_input(protocol, i, node_budget=node_budget)
-                        rows.append([i, result.convergence.value, result.verdict,
-                                     result.bottom_scc_count])
-                    except ReproError as error:
-                        rows.append([i, f"({error})", "-", "-"])
+                envelopes = run_tasks(
+                    _classify_row,
+                    [(protocol, i, node_budget) for i in sample_inputs],
+                    jobs=jobs,
+                    label="analyze.convergence",
+                )
+                rows = [envelope.value for envelope in envelopes]
                 out(render_table(["input", "convergence", "verdict", "bottom SCCs"], rows))
             else:
                 out("(multi-variable protocol: per-input classification via classify_input)")

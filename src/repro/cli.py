@@ -9,7 +9,9 @@ Usage (``python -m repro <command> ...``)::
     python -m repro describe binary:10
     python -m repro verify binary:10 "x >= 10" --max-input 14
     python -m repro simulate majority --input x=60,y=40 --seed 1
-    python -m repro conformance majority
+    python -m repro simulate majority --input x=60,y=40 --trials 50 --jobs 4
+    python -m repro conformance majority --jobs 2
+    python -m repro bb 2 --jobs 2
     python -m repro certify binary:4 --section 4
     python -m repro dot binary:8
 
@@ -55,8 +57,10 @@ from .protocols import (
     majority_protocol,
     modulo_protocol,
 )
+from .parallel import resolve_jobs
 from .protocols.leader_election import leader_election
 from .simulation import CountScheduler, check_conformance
+from .simulation.ensembles import run_ensemble
 
 __all__ = ["main", "resolve_protocol"]
 
@@ -125,6 +129,18 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
         "--progress",
         action="store_true",
         help="emit periodic progress heartbeats to stderr",
+    )
+
+
+def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
+    """``--jobs`` on the parallelisable commands (results never depend on it)."""
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (default 1 = in-process; 0 = all cores); "
+        "results are bit-identical for every value",
     )
 
 
@@ -197,6 +213,8 @@ def _cmd_verify(args) -> int:
 def _cmd_simulate(args) -> int:
     protocol = resolve_protocol(args.protocol)
     inputs = _parse_input(args.input)
+    if args.trials is not None:
+        return _simulate_batch(args, protocol, inputs)
     scheduler = CountScheduler(protocol, seed=args.seed)
     result = scheduler.run(inputs, max_steps=args.max_steps)
     verdict = protocol.output_of(result.configuration)
@@ -230,6 +248,54 @@ def _cmd_simulate(args) -> int:
     return 0 if result.converged else 2
 
 
+def _simulate_batch(args, protocol: PopulationProtocol, inputs: Multiset) -> int:
+    """``simulate --trials N``: a seeded ensemble, optionally parallel."""
+    if args.trials < 1:
+        raise SystemExit(f"error: --trials must be >= 1, got {args.trials}")
+    # Batch mode needs a concrete root seed so the run is reproducible
+    # from the emitted artifact alone.
+    root_seed = args.seed if args.seed is not None else 0
+    population = protocol.initial_configuration(inputs).size
+    result = run_ensemble(
+        protocol,
+        inputs,
+        trials=args.trials,
+        max_parallel_time=args.max_steps / max(1, population),
+        seed=root_seed,
+        jobs=args.jobs,
+    )
+    if args.json:
+        payload = {
+            "protocol": protocol.name,
+            "seed": root_seed,
+            "jobs": resolve_jobs(args.jobs),
+            "trials": args.trials,
+            "input": {variable: count for variable, count in inputs.items()},
+            "max_steps": args.max_steps,
+            "population": population,
+            "converged": result.converged,
+            "convergence_rate": result.convergence_rate,
+            "verdicts": {str(verdict): count for verdict, count in sorted(
+                result.verdicts.items(), key=lambda item: str(item[0]))},
+            "parallel_time_median": (
+                result.time_quantile(0.5) if result.parallel_times else None
+            ),
+            "parallel_time_p90": (
+                result.time_quantile(0.9) if result.parallel_times else None
+            ),
+            "instrumentation": (
+                result.instrumentation.as_dict()
+                if result.instrumentation is not None
+                else None
+            ),
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"population: {population} (root seed {root_seed})")
+        print(result.summary())
+    return 0 if result.converged == result.trials else 2
+
+
 def _default_conformance_input(protocol) -> Multiset:
     """A small non-trivial input when the user does not supply one."""
     variables = list(protocol.input_mapping)
@@ -255,6 +321,7 @@ def _cmd_conformance(args) -> int:
         matched_seeds=tuple(range(args.trajectory_seeds)),
         max_steps=args.max_steps,
         seed=args.seed,
+        jobs=args.jobs,
     )
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
@@ -292,7 +359,46 @@ def _cmd_analyze(args) -> int:
 
     protocol = resolve_protocol(args.protocol)
     predicate = parse_predicate(args.predicate) if args.predicate else None
-    print(full_report(protocol, predicate, max_input=args.max_input))
+    print(full_report(protocol, predicate, max_input=args.max_input, jobs=args.jobs))
+    return 0
+
+
+def _cmd_bb(args) -> int:
+    from .bounds.enumeration import busy_beaver_search, count_deterministic_protocols
+
+    if args.states < 1:
+        raise SystemExit(f"error: need at least one state, got {args.states}")
+    result = busy_beaver_search(
+        args.states,
+        max_input=args.max_input,
+        max_witnesses=args.max_witnesses,
+        enumeration_budget=args.budget,
+        jobs=args.jobs,
+        chunk_size=args.chunk_size,
+    )
+    if args.json:
+        payload = {
+            "n": result.n,
+            "jobs": resolve_jobs(args.jobs),
+            "eta": result.eta,
+            "witnesses": [protocol.name for protocol in result.witnesses],
+            "protocols_enumerated": result.protocols_enumerated,
+            "protocols_total": count_deterministic_protocols(args.states),
+            "threshold_protocols": result.threshold_protocols,
+            "checked_up_to": result.checked_up_to,
+            "certified": result.certified,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"BB({result.n}) >= {result.eta} "
+              f"(verdicts exact up to input {result.checked_up_to})")
+        print(f"enumerated: {result.protocols_enumerated} of "
+              f"{count_deterministic_protocols(args.states)} deterministic protocols")
+        print(f"threshold protocols found: {result.threshold_protocols}")
+        for protocol in result.witnesses:
+            print(f"  witness: {protocol.name}")
+        print("certificate: "
+              + ("Section 4 pump checked" if result.certified else "none within horizon"))
     return 0
 
 
@@ -334,8 +440,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--input", required=True, help='"x=60,y=40" or a bare count')
     p.add_argument("--seed", type=int, default=None)
     p.add_argument("--max-steps", type=int, default=1_000_000)
+    p.add_argument("--trials", type=int, default=None, metavar="N",
+                   help="run a seeded N-run ensemble instead of a single run "
+                   "(root seed defaults to 0 when --seed is omitted)")
     p.add_argument("--json", action="store_true",
                    help="emit a machine-readable result (seed + instrumentation included)")
+    _add_jobs_flag(p)
     _add_obs_flags(p)
     p.set_defaults(handler=_cmd_simulate)
 
@@ -350,8 +460,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-steps", type=int, default=200_000)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--json", action="store_true", help="emit the machine-readable report")
+    _add_jobs_flag(p)
     _add_obs_flags(p)
     p.set_defaults(handler=_cmd_conformance)
+
+    p = sub.add_parser(
+        "bb",
+        help="bounded busy-beaver search: enumerate all n-state protocols",
+    )
+    p.add_argument("states", type=int, help="number of states n (n <= 2 is fast)")
+    p.add_argument("--max-input", type=int, default=8,
+                   help="verdicts are exact for inputs up to this size")
+    p.add_argument("--max-witnesses", type=int, default=3)
+    p.add_argument("--budget", type=int, default=1_000_000,
+                   help="stop enumerating after this many protocols")
+    p.add_argument("--chunk-size", type=int, default=None,
+                   help="protocols per work chunk (default: auto from --jobs)")
+    p.add_argument("--json", action="store_true", help="emit the machine-readable result")
+    _add_jobs_flag(p)
+    _add_obs_flags(p)
+    p.set_defaults(handler=_cmd_bb)
 
     p = sub.add_parser("certify", help="produce a checked eta <= a pumping certificate")
     p.add_argument("protocol")
@@ -368,6 +496,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("protocol")
     p.add_argument("predicate", nargs="?", default=None, help="optional predicate to verify against")
     p.add_argument("--max-input", type=int, default=8)
+    _add_jobs_flag(p)
     _add_obs_flags(p)
     p.set_defaults(handler=_cmd_analyze)
 

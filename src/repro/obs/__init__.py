@@ -19,7 +19,12 @@ This package makes them observable from three angles:
   per-span table behind ``repro trace summarize``.
 """
 
-from .exporters import ChromeTraceExporter, JsonlExporter, exporter_for_path
+from .exporters import (
+    ChromeTraceExporter,
+    JsonlExporter,
+    RecordingExporter,
+    exporter_for_path,
+)
 from .metrics import (
     Instrumentation,
     InstrumentationSnapshot,
@@ -55,6 +60,7 @@ __all__ = [
     "set_tracer",
     "JsonlExporter",
     "ChromeTraceExporter",
+    "RecordingExporter",
     "exporter_for_path",
     "ProgressMeter",
     "progress",

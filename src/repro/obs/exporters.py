@@ -25,7 +25,12 @@ from typing import Any, Dict, List
 
 from .tracer import Span, SpanExporter
 
-__all__ = ["JsonlExporter", "ChromeTraceExporter", "exporter_for_path"]
+__all__ = [
+    "JsonlExporter",
+    "ChromeTraceExporter",
+    "RecordingExporter",
+    "exporter_for_path",
+]
 
 
 def _jsonable(value: Any) -> Any:
@@ -74,6 +79,34 @@ class JsonlExporter(SpanExporter):
 
     def close(self) -> None:
         self._handle.close()
+
+
+class RecordingExporter(SpanExporter):
+    """Buffers finished spans as plain picklable dicts (no file I/O).
+
+    Used by the parallel workers: a worker traces its task into this
+    exporter and ships ``records`` back inside the result envelope; the
+    parent re-emits them (ids remapped, timestamps re-based) so one
+    trace file describes the whole fan-out.  The record shape is the
+    JSONL span shape understood by :func:`repro.obs.summary.load_trace`.
+    """
+
+    def __init__(self) -> None:
+        self.records: List[Dict[str, Any]] = []
+
+    def export(self, span: Span) -> None:
+        self.records.append(
+            {
+                "name": span.name,
+                "id": span.span_id,
+                "parent": span.parent_id,
+                "depth": span.depth,
+                "start_us": span.start_us,
+                "dur_us": span.duration_us,
+                "attrs": _clean(span.attributes),
+                "counters": dict(span.counters),
+            }
+        )
 
 
 class ChromeTraceExporter(SpanExporter):

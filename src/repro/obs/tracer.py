@@ -195,6 +195,51 @@ class Tracer:
         """The innermost open span, if any."""
         return self._stack[-1] if self._stack else None
 
+    def allocate_span_id(self) -> int:
+        """Reserve a fresh span id (for adopting foreign span trees)."""
+        span_id = self._next_id
+        self._next_id += 1
+        return span_id
+
+    def adopt_span(
+        self,
+        name: str,
+        *,
+        start_us: float,
+        duration_us: float,
+        span_id: Optional[int] = None,
+        parent_id: Optional[int] = None,
+        depth: int = 0,
+        attributes: Optional[Dict[str, Any]] = None,
+        counters: Optional[Dict[str, int]] = None,
+    ) -> int:
+        """Export an already-finished span recorded elsewhere.
+
+        Used to merge spans recorded by parallel workers into the
+        parent's trace: the caller supplies remapped ids, re-based
+        timestamps and the parent link, and the span goes straight to
+        the exporters.  Unlike :meth:`_finish` this does *not* fold the
+        span into the metrics registry — worker metrics travel in the
+        result envelope's registry delta and are merged exactly once.
+        """
+        if span_id is None:
+            span_id = self.allocate_span_id()
+        span = Span(
+            name=name,
+            span_id=span_id,
+            parent_id=parent_id,
+            depth=depth,
+            start_us=start_us,
+            attributes=dict(attributes or {}),
+        )
+        span.end_us = start_us + duration_us
+        if counters:
+            span.counters.update(counters)
+        self.finished_spans += 1
+        for exporter in self._exporters:
+            exporter.export(span)
+        return span_id
+
     def event(self, name: str, **attributes: Any) -> None:
         """Record an instant event (used by progress heartbeats)."""
         timestamp = self._now_us()
@@ -240,6 +285,12 @@ class NullTracer:
 
     def current(self) -> None:
         return None
+
+    def allocate_span_id(self) -> int:
+        return 0
+
+    def adopt_span(self, name: str, **kwargs: Any) -> int:
+        return 0
 
     def event(self, name: str, **attributes: Any) -> None:
         return None

@@ -1,0 +1,100 @@
+"""Merging worker observability back into the parent process.
+
+Parallel execution must not degrade the observability story PR 2
+built: a ``--json`` artifact still carries one coherent
+instrumentation snapshot, and a ``--trace`` file still describes the
+whole run.  Three merge operations make that true:
+
+* :func:`merge_snapshots` — fold any number of
+  :class:`~repro.obs.InstrumentationSnapshot` objects into one, in
+  order.  Counters are sums (and therefore identical between serial
+  and parallel runs — the differential suite asserts this); timers are
+  sums of per-worker wall clock, i.e. *CPU-style* totals that may
+  exceed the parent's elapsed time under real parallelism.
+* :func:`merge_registry_delta` — fold a worker's metrics-registry
+  delta (shipped in the result envelope as plain dicts) into the
+  parent's process-wide registry.
+* :func:`adopt_recorded_spans` — re-emit spans recorded by a worker
+  into the parent's live tracer: ids remapped onto the parent's id
+  space, timestamps re-based onto a container span, parent links
+  preserved.  Because ``repro trace summarize`` computes *self* time
+  from parent links (not time containment), per-worker spans merge
+  without overlapping self-time even though workers run concurrently.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Mapping, Optional, Sequence
+
+from ..obs import Instrumentation, InstrumentationSnapshot, get_metrics
+
+__all__ = ["merge_snapshots", "merge_registry_delta", "adopt_recorded_spans"]
+
+
+def merge_snapshots(
+    snapshots: Iterable[Optional[InstrumentationSnapshot]],
+) -> InstrumentationSnapshot:
+    """Fold snapshots (``None`` entries skipped) into one, in order."""
+    merged = Instrumentation()
+    for snapshot in snapshots:
+        if snapshot is not None:
+            merged.merge(snapshot)
+    return merged.snapshot()
+
+
+def _snapshot_from_dict(payload: Mapping[str, Mapping[str, float]]) -> InstrumentationSnapshot:
+    return InstrumentationSnapshot(
+        counters={str(k): int(v) for k, v in payload.get("counters", {}).items()},
+        timers={str(k): float(v) for k, v in payload.get("timers", {}).items()},
+    )
+
+
+def merge_registry_delta(
+    delta: Mapping[str, Mapping[str, Mapping[str, float]]],
+) -> None:
+    """Fold one worker's registry delta into the parent registry.
+
+    ``delta`` is the envelope's ``metrics`` field: registry name ->
+    ``InstrumentationSnapshot.as_dict()`` payload.
+    """
+    for name, payload in delta.items():
+        get_metrics(name).merge(_snapshot_from_dict(payload))
+
+
+def adopt_recorded_spans(
+    tracer: Any,
+    records: Sequence[Dict[str, Any]],
+    *,
+    base_us: float,
+    container_id: Optional[int],
+    container_depth: int,
+) -> int:
+    """Re-emit a worker's recorded spans under a container span.
+
+    ``records`` use worker-local span ids (the
+    :class:`~repro.obs.RecordingExporter` shape); each gets a fresh id
+    from the parent tracer, its parent link remapped (worker roots hang
+    off ``container_id``), and its timestamps shifted by ``base_us`` so
+    the worker timeline nests inside the container.  Returns the number
+    of spans adopted.
+    """
+    if not records:
+        return 0
+    id_map = {
+        record["id"]: tracer.allocate_span_id()
+        for record in records
+        if record.get("id") is not None
+    }
+    for record in records:
+        worker_parent = record.get("parent")
+        tracer.adopt_span(
+            record["name"],
+            span_id=id_map.get(record.get("id")),
+            start_us=base_us + float(record.get("start_us", 0.0)),
+            duration_us=float(record.get("dur_us", 0.0)),
+            parent_id=id_map.get(worker_parent, container_id),
+            depth=container_depth + 1 + int(record.get("depth", 0)),
+            attributes=record.get("attrs"),
+            counters=record.get("counters"),
+        )
+    return len(records)

@@ -1,0 +1,182 @@
+"""The process-pool execution backend.
+
+:func:`run_tasks` is the single entry point every parallel sweep in the
+toolkit goes through (busy-beaver enumeration chunks, conformance
+sub-checks, ensemble trial chunks, report sections).  The contract:
+
+* **Determinism.**  Results come back in *task order*, never completion
+  order, and seeds derive from task index (:mod:`repro.parallel.seeds`)
+  — so the merged outcome is bit-identical for any ``jobs`` value,
+  including the in-process serial path at ``jobs=1``.  The differential
+  suite (``tests/test_parallel.py``) is the enforcement of this
+  contract; no speedup claim stands without it.
+* **Serial is the reference.**  ``jobs=1`` runs the same task functions
+  inline: metrics flow into the live registry and spans into the live
+  tracer exactly as a hand-written loop would.  The parallel path must
+  reproduce that observable behaviour by shipping worker deltas home
+  (:mod:`repro.parallel.merge`).
+* **Workers are hygienic.**  A task starts from a clean tracer (never
+  the parent's — a forked file-handle exporter must not be written to)
+  and a cleared metrics registry, so the envelope's sidecar is exactly
+  the task's own contribution, counted once.
+
+Task functions must be module-level (picklable) callables taking one
+:class:`~repro.parallel.envelopes.TaskEnvelope`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..obs import (
+    NULL_TRACER,
+    RecordingExporter,
+    Tracer,
+    clear_registry,
+    get_tracer,
+    progress,
+    registry_snapshot,
+    set_tracer,
+)
+from .envelopes import ResultEnvelope, TaskEnvelope
+from .merge import adopt_recorded_spans, merge_registry_delta
+from .seeds import derive_seed
+
+__all__ = ["run_tasks", "resolve_jobs", "chunk_ranges", "default_chunk_size"]
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``--jobs`` value: ``None``/``0`` means all cores."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0 (0 = all cores), got {jobs}")
+    return jobs
+
+
+def chunk_ranges(total: int, chunk_size: int) -> List[Tuple[int, int]]:
+    """Contiguous ``[start, stop)`` chunks covering ``range(total)``."""
+    if total < 0:
+        raise ValueError(f"total must be >= 0, got {total}")
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    return [(start, min(start + chunk_size, total)) for start in range(0, total, chunk_size)]
+
+
+def default_chunk_size(total: int, jobs: int, *, per_worker: int = 4) -> int:
+    """A chunk size giving each worker ~``per_worker`` chunks to balance load.
+
+    Serial runs get one chunk (zero partitioning overhead); parallel
+    runs get enough chunks that a straggler chunk cannot idle the other
+    workers for long, without drowning in per-task pickling.
+    """
+    if jobs <= 1:
+        return max(1, total)
+    return max(1, -(-total // (jobs * per_worker)))
+
+
+def _execute_task(fn: Callable[[TaskEnvelope], Any], task: TaskEnvelope) -> ResultEnvelope:
+    """Worker-side wrapper: clean observability state, run, pack the envelope."""
+    clear_registry()
+    recorder = RecordingExporter() if task.capture_spans else None
+    worker_tracer = Tracer([recorder]) if recorder is not None else NULL_TRACER
+    set_tracer(worker_tracer)
+    start = time.perf_counter()
+    try:
+        value = fn(task)
+    finally:
+        worker_tracer.close()
+        set_tracer(NULL_TRACER)
+    elapsed_us = (time.perf_counter() - start) * 1e6
+    metrics: Dict[str, Dict[str, Dict[str, float]]] = {
+        name: snapshot.as_dict()
+        for name, snapshot in registry_snapshot().items()
+        if snapshot.counters or snapshot.timers
+    }
+    return ResultEnvelope(
+        index=task.index,
+        value=value,
+        metrics=metrics,
+        spans=tuple(recorder.records) if recorder is not None else (),
+        elapsed_us=elapsed_us,
+        worker_pid=os.getpid(),
+    )
+
+
+def run_tasks(
+    fn: Callable[[TaskEnvelope], Any],
+    payloads: Sequence[Any],
+    *,
+    jobs: int = 1,
+    root_seed: Optional[int] = None,
+    label: str = "parallel",
+) -> List[ResultEnvelope]:
+    """Run ``fn`` over ``payloads``; results are returned in task order.
+
+    ``jobs=1`` executes inline (the reference semantics); ``jobs>1``
+    fans out over a process pool, then merges each worker's metrics
+    registry delta into this process's registry and adopts its recorded
+    spans into the live trace.  When ``root_seed`` is given, task ``i``
+    carries ``derive_seed(root_seed, i)`` — stable for any ``jobs``.
+    """
+    jobs = resolve_jobs(jobs)
+    capture = bool(get_tracer().enabled) and jobs > 1 and len(payloads) > 1
+    tasks = [
+        TaskEnvelope(
+            index=index,
+            payload=payload,
+            seed=derive_seed(root_seed, index) if root_seed is not None else None,
+            capture_spans=capture,
+        )
+        for index, payload in enumerate(payloads)
+    ]
+    if jobs <= 1 or len(tasks) <= 1:
+        return [
+            ResultEnvelope(index=task.index, value=fn(task), worker_pid=os.getpid())
+            for task in tasks
+        ]
+
+    tracer = get_tracer()
+    done = 0
+    meter = progress(label, lambda: {"tasks_done": done, "tasks": len(tasks)})
+    with tracer.span(
+        "parallel.pool", label=label, jobs=jobs, tasks=len(tasks)
+    ) as pool_span:
+        results: Dict[int, ResultEnvelope] = {}
+        workers = min(jobs, len(tasks))
+        with ProcessPoolExecutor(max_workers=workers) as executor:
+            pending = {executor.submit(_execute_task, fn, task) for task in tasks}
+            while pending:
+                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    envelope = future.result()
+                    results[envelope.index] = envelope
+                    done += 1
+                    meter.tick()
+        meter.finish()
+        ordered = [results[index] for index in range(len(tasks))]
+        adopted = 0
+        for envelope in ordered:
+            merge_registry_delta(envelope.metrics)
+            if envelope.spans and tracer.enabled:
+                base_us = getattr(pool_span, "start_us", 0.0)
+                container_id = tracer.adopt_span(
+                    "parallel.task",
+                    start_us=base_us,
+                    duration_us=envelope.elapsed_us,
+                    parent_id=getattr(pool_span, "span_id", None),
+                    depth=getattr(pool_span, "depth", 0) + 1,
+                    attributes={"task": envelope.index, "pid": envelope.worker_pid},
+                )
+                adopted += 1 + adopt_recorded_spans(
+                    tracer,
+                    envelope.spans,
+                    base_us=base_us,
+                    container_id=container_id,
+                    container_depth=getattr(pool_span, "depth", 0) + 1,
+                )
+        pool_span.set(adopted_spans=adopted)
+    return ordered

@@ -49,6 +49,7 @@ from ..core.errors import ConfigurationError
 from ..core.multiset import Multiset
 from ..core.protocol import PopulationProtocol, _pair
 from ..obs import get_tracer
+from ..parallel import TaskEnvelope, merge_snapshots, run_tasks
 from .fast import BatchScheduler
 from .instrumentation import Instrumentation, InstrumentationSnapshot
 from .scheduler import AgentListScheduler, CountScheduler
@@ -455,6 +456,33 @@ class MatchedSeedCheck:
         }
 
 
+def _check_matched_seed(
+    protocol: PopulationProtocol,
+    inputs,
+    seed: int,
+    max_steps: int,
+    compare_verdicts: bool,
+) -> Tuple[Tuple[str, ...], bool]:
+    """One matched-seed differential run: (mismatches, both converged)."""
+    mismatches: List[str] = []
+    agent_run = AgentListScheduler(protocol, seed=seed).run(inputs, max_steps=max_steps)
+    count_run = CountScheduler(protocol, seed=seed).run(inputs, max_steps=max_steps)
+    if agent_run.population != count_run.population:
+        mismatches.append(
+            f"seed={seed}: population {agent_run.population} != {count_run.population}"
+        )
+    converged = agent_run.converged and count_run.converged
+    if converged and compare_verdicts:
+        agent_verdict = protocol.output_of(agent_run.configuration)
+        count_verdict = protocol.output_of(count_run.configuration)
+        if agent_verdict != count_verdict:
+            mismatches.append(
+                f"seed={seed}: verdicts differ (agent-list {agent_verdict}, "
+                f"count {count_verdict})"
+            )
+    return tuple(mismatches), converged
+
+
 def _check_matched_seeds(
     protocol: PopulationProtocol,
     inputs,
@@ -465,23 +493,11 @@ def _check_matched_seeds(
     mismatches: List[str] = []
     converged = 0
     for seed in seeds:
-        agent_run = AgentListScheduler(protocol, seed=seed).run(inputs, max_steps=max_steps)
-        count_run = CountScheduler(protocol, seed=seed).run(inputs, max_steps=max_steps)
-        if agent_run.population != count_run.population:
-            mismatches.append(
-                f"seed={seed}: population {agent_run.population} != {count_run.population}"
-            )
-        if agent_run.converged and count_run.converged:
-            converged += 1
-            if not compare_verdicts:
-                continue
-            agent_verdict = protocol.output_of(agent_run.configuration)
-            count_verdict = protocol.output_of(count_run.configuration)
-            if agent_verdict != count_verdict:
-                mismatches.append(
-                    f"seed={seed}: verdicts differ (agent-list {agent_verdict}, "
-                    f"count {count_verdict})"
-                )
+        seed_mismatches, seed_converged = _check_matched_seed(
+            protocol, inputs, seed, max_steps, compare_verdicts
+        )
+        mismatches.extend(seed_mismatches)
+        converged += 1 if seed_converged else 0
     return MatchedSeedCheck(
         seeds=tuple(seeds), runs_converged=converged, mismatches=tuple(mismatches)
     )
@@ -507,6 +523,7 @@ class ConformanceReport:
     matched_seed: MatchedSeedCheck
     seed: Optional[int] = None
     instrumentation: Optional[InstrumentationSnapshot] = None
+    jobs: int = 1
 
     @property
     def ok(self) -> bool:
@@ -523,10 +540,12 @@ class ConformanceReport:
             "population": self.population,
             "samples": self.samples,
             "significance": self.significance,
-            # The RNG seed and the work counters make the artifact
-            # self-describing: the exact run can be reproduced and the
-            # amount of sampling behind each verdict is recorded.
+            # The root RNG seed, worker count, and work counters make
+            # the artifact self-describing: the exact run can be
+            # reproduced (results are jobs-independent by contract) and
+            # the amount of sampling behind each verdict is recorded.
             "seed": self.seed,
+            "jobs": self.jobs,
             "first_step": [r.to_dict() for r in self.first_step],
             "batch_distribution_error": self.batch_distribution_error,
             "batch_distribution_ok": self.batch_distribution_ok,
@@ -599,6 +618,109 @@ class ConformanceReport:
 # ----------------------------------------------------------------------
 
 
+@dataclass(frozen=True)
+class _SweepSettings:
+    """Everything a conformance sub-check needs, picklable as one blob."""
+
+    protocol: PopulationProtocol
+    inputs: object
+    samples: int
+    significance: float
+    seed: int
+    trajectory_seeds: Tuple[int, ...]
+    trajectory_steps: int
+    max_steps: int
+    compare_verdicts: bool
+    leap_size: int
+
+
+_EXACT_SCHEDULERS = {"agent-list": AgentListScheduler, "count": CountScheduler}
+
+
+def _conformance_task(task: TaskEnvelope):
+    """One conformance sub-check; returns ``(value, harness snapshot)``.
+
+    The sub-checks are the per-sampler seeded sweeps of the suite —
+    each is self-contained (builds its own schedulers from the settings
+    blob, with the same seeds the serial path uses), so fanning them
+    out over workers cannot change any verdict.
+    """
+    kind, argument, settings = task.payload
+    harness = Instrumentation()
+    if kind == "first_step_exact":
+        with harness.phase("first_step"):
+            analytic = _analytic_first_step(settings)
+            scheduler = _EXACT_SCHEDULERS[argument](settings.protocol, seed=settings.seed)
+            pairs, deltas = _sample_exact_first_steps(
+                scheduler, settings.inputs, settings.samples,
+                settings.protocol.indexed().index,
+            )
+            harness.add("first_step_samples", settings.samples)
+            value = (
+                _chi_squared_test(
+                    argument, "pair", pairs, analytic[0], settings.samples,
+                    settings.significance,
+                ),
+                _chi_squared_test(
+                    argument, "delta", deltas, analytic[1], settings.samples,
+                    settings.significance,
+                ),
+            )
+    elif kind == "first_step_batch":
+        with harness.phase("first_step"):
+            analytic = _analytic_first_step(settings)
+            batch = BatchScheduler(settings.protocol, seed=settings.seed)
+            batch_deltas = _sample_batch_first_steps(batch, settings.inputs, settings.samples)
+            harness.add("first_step_samples", settings.samples)
+            chi = _chi_squared_test(
+                "batch", "delta", batch_deltas, analytic[1], settings.samples,
+                settings.significance,
+            )
+            # The batch scheduler's sampling distribution is available
+            # in closed form — compare it against the analytic one
+            # exactly, not just statistically.
+            batch.reset(settings.inputs)
+            keys, probabilities, inert = batch.pair_distribution()
+            error = 0.0
+            registered_mass = 0.0
+            for key, probability in zip(keys, probabilities):
+                expected = analytic[0].get(key, 0.0)
+                registered_mass += expected
+                error = max(error, abs(float(probability) - expected))
+            error = max(error, abs(inert - (1.0 - registered_mass)))
+            value = (chi, error, error < 1e-9)
+    elif kind == "trajectory":
+        with harness.phase("trajectories"):
+            if argument == "batch":
+                value = _check_batch_trajectories(
+                    settings.protocol, settings.inputs, settings.trajectory_seeds,
+                    settings.trajectory_steps, leap_size=settings.leap_size,
+                )
+            else:
+                value = _check_exact_trajectories(
+                    settings.protocol, _EXACT_SCHEDULERS[argument], argument,
+                    settings.inputs, settings.trajectory_seeds,
+                    settings.trajectory_steps,
+                )
+    elif kind == "matched":
+        with harness.phase("matched_seeds"):
+            value = _check_matched_seed(
+                settings.protocol, settings.inputs, argument, settings.max_steps,
+                settings.compare_verdicts,
+            )
+    else:  # pragma: no cover - defensive
+        raise ValueError(f"unknown conformance task kind {kind!r}")
+    return value, harness.snapshot()
+
+
+def _analytic_first_step(settings: _SweepSettings):
+    initial = settings.protocol.initial_configuration(settings.inputs)
+    return (
+        analytic_pair_distribution(initial),
+        analytic_delta_distribution(settings.protocol, initial),
+    )
+
+
 def check_conformance(
     protocol: PopulationProtocol,
     inputs,
@@ -611,12 +733,16 @@ def check_conformance(
     max_steps: int = 200_000,
     seed: int = 0,
     compare_verdicts: bool = True,
+    jobs: int = 1,
 ) -> ConformanceReport:
     """Run the full conformance suite on one protocol and input.
 
     Deterministic for fixed arguments (all randomness is seeded), so a
     passing configuration keeps passing — the thresholds are tuned for
-    the sample counts, not re-rolled per run.
+    the sample counts, not re-rolled per run.  ``jobs > 1`` fans the
+    per-sampler sweeps out over a process pool; every sub-check carries
+    its own explicit seeds, so the report is identical for any worker
+    count (the differential suite asserts it field by field).
 
     ``compare_verdicts=False`` skips the matched-seed verdict
     comparison for protocols that are not well-specified (ones whose
@@ -626,72 +752,58 @@ def check_conformance(
     if samples < 1:
         raise ValueError(f"samples must be >= 1, got {samples}")
     initial = protocol.initial_configuration(inputs)
-    analytic_pairs = analytic_pair_distribution(initial)
-    analytic_deltas = analytic_delta_distribution(protocol, initial)
-    index = protocol.indexed().index
+    settings = _SweepSettings(
+        protocol=protocol,
+        inputs=inputs,
+        samples=samples,
+        significance=significance,
+        seed=seed,
+        trajectory_seeds=tuple(trajectory_seeds),
+        trajectory_steps=trajectory_steps,
+        max_steps=max_steps,
+        compare_verdicts=compare_verdicts,
+        leap_size=max(1, initial.size // 10),
+    )
+    payloads = [
+        ("first_step_exact", "agent-list", settings),
+        ("first_step_exact", "count", settings),
+        ("first_step_batch", None, settings),
+        ("trajectory", "agent-list", settings),
+        ("trajectory", "count", settings),
+        ("trajectory", "batch", settings),
+    ] + [("matched", matched_seed, settings) for matched_seed in matched_seeds]
 
     harness = Instrumentation()
     span_cm = get_tracer().span(
-        "conformance.check", protocol=protocol.name, population=initial.size, seed=seed
+        "conformance.check",
+        protocol=protocol.name,
+        population=initial.size,
+        seed=seed,
+        jobs=jobs,
     )
     with span_cm, harness.phase("conformance"):
-        first_step: List[ChiSquaredResult] = []
-        with harness.phase("first_step"):
-            for name, scheduler_class in (("agent-list", AgentListScheduler), ("count", CountScheduler)):
-                scheduler = scheduler_class(protocol, seed=seed)
-                pairs, deltas = _sample_exact_first_steps(scheduler, inputs, samples, index)
-                harness.add("first_step_samples", samples)
-                first_step.append(
-                    _chi_squared_test(name, "pair", pairs, analytic_pairs, samples, significance)
-                )
-                first_step.append(
-                    _chi_squared_test(name, "delta", deltas, analytic_deltas, samples, significance)
-                )
-            batch = BatchScheduler(protocol, seed=seed)
-            batch_deltas = _sample_batch_first_steps(batch, inputs, samples)
-            harness.add("first_step_samples", samples)
-            first_step.append(
-                _chi_squared_test("batch", "delta", batch_deltas, analytic_deltas, samples, significance)
-            )
+        envelopes = run_tasks(_conformance_task, payloads, jobs=jobs, label="conformance")
+        values = [envelope.value[0] for envelope in envelopes]
+        harness.merge(merge_snapshots(envelope.value[1] for envelope in envelopes))
 
-        # The batch scheduler's sampling distribution is available in closed
-        # form — compare it against the analytic one exactly, not just
-        # statistically.
-        batch.reset(inputs)
-        keys, probabilities, inert = batch.pair_distribution()
-        error = 0.0
-        registered_mass = 0.0
-        for key, probability in zip(keys, probabilities):
-            expected = analytic_pairs.get(key, 0.0)
-            registered_mass += expected
-            error = max(error, abs(float(probability) - expected))
-        error = max(error, abs(inert - (1.0 - registered_mass)))
-        batch_ok = error < 1e-9
-
-        with harness.phase("trajectories"):
-            trajectories = [
-                _check_exact_trajectories(
-                    protocol, AgentListScheduler, "agent-list", inputs, trajectory_seeds, trajectory_steps
-                ),
-                _check_exact_trajectories(
-                    protocol, CountScheduler, "count", inputs, trajectory_seeds, trajectory_steps
-                ),
-                _check_batch_trajectories(
-                    protocol,
-                    inputs,
-                    trajectory_seeds,
-                    trajectory_steps,
-                    leap_size=max(1, initial.size // 10),
-                ),
-            ]
+        agent_chi, count_chi, batch_value = values[0], values[1], values[2]
+        first_step = (*agent_chi, *count_chi, batch_value[0])
+        error, batch_ok = batch_value[1], batch_value[2]
+        trajectories = values[3:6]
         harness.add(
             "trajectory_interactions", sum(t.steps_checked for t in trajectories)
         )
 
-        with harness.phase("matched_seeds"):
-            matched = _check_matched_seeds(
-                protocol, inputs, matched_seeds, max_steps, compare_verdicts
-            )
+        mismatches: List[str] = []
+        converged = 0
+        for seed_mismatches, seed_converged in values[6:]:
+            mismatches.extend(seed_mismatches)
+            converged += 1 if seed_converged else 0
+        matched = MatchedSeedCheck(
+            seeds=tuple(matched_seeds),
+            runs_converged=converged,
+            mismatches=tuple(mismatches),
+        )
         harness.add("matched_seed_runs", 2 * len(matched.seeds))
 
     return ConformanceReport(
@@ -699,11 +811,12 @@ def check_conformance(
         population=initial.size,
         samples=samples,
         significance=significance,
-        first_step=tuple(first_step),
+        first_step=first_step,
         batch_distribution_error=error,
         batch_distribution_ok=batch_ok,
         trajectories=tuple(trajectories),
         matched_seed=matched,
         seed=seed,
         instrumentation=harness.snapshot(),
+        jobs=jobs,
     )

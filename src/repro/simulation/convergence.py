@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from ..core.protocol import PopulationProtocol
+from ..parallel import TaskEnvelope, chunk_ranges, default_chunk_size, run_tasks
 from .scheduler import CountScheduler, SimulationResult
 
 __all__ = ["ConvergenceStats", "measure_convergence", "convergence_scaling", "fit_nlogn"]
@@ -43,29 +44,54 @@ class ConvergenceStats:
         return self.mean_parallel_time / max(1.0, math.log2(self.population))
 
 
+def _convergence_chunk(task: TaskEnvelope) -> List[Tuple[int, float, bool]]:
+    """One block of convergence trials: ``(population, time, converged)`` rows."""
+    protocol, inputs, start, stop, seed, max_steps = task.payload
+    rows = []
+    for trial in range(start, stop):
+        # run() resets the scheduler itself; no separate reset needed
+        scheduler = CountScheduler(protocol, seed=seed + trial)
+        result = scheduler.run(inputs, max_steps=max_steps)
+        rows.append((result.population, result.parallel_time, result.converged))
+    return rows
+
+
 def measure_convergence(
     protocol: PopulationProtocol,
     inputs,
     trials: int = 10,
     max_steps_factor: int = 2000,
     seed: int = 0,
+    jobs: int = 1,
+    chunk_size: Optional[int] = None,
 ) -> ConvergenceStats:
     """Simulate ``trials`` runs to silent consensus; report parallel times.
 
     ``max_steps_factor * n`` interactions bound each run; runs hitting
     the bound are flagged via ``all_converged = False`` (their censored
-    time still enters the statistics).
+    time still enters the statistics).  Trial ``t`` is seeded
+    ``seed + t`` whichever worker runs it, so ``jobs > 1`` changes the
+    wall clock and nothing else.
     """
     times: List[float] = []
     converged = True
     population = protocol.initial_configuration(inputs).size
-    for trial in range(trials):
-        # run() resets the scheduler itself; no separate reset needed
-        scheduler = CountScheduler(protocol, seed=seed + trial)
-        result = scheduler.run(inputs, max_steps=max_steps_factor * population)
-        population = result.population
-        times.append(result.parallel_time)
-        converged = converged and result.converged
+    if chunk_size is None:
+        chunk_size = default_chunk_size(trials, jobs)
+    envelopes = run_tasks(
+        _convergence_chunk,
+        [
+            (protocol, inputs, start, stop, seed, max_steps_factor * population)
+            for start, stop in chunk_ranges(trials, chunk_size)
+        ],
+        jobs=jobs,
+        label="convergence",
+    )
+    for envelope in envelopes:
+        for run_population, parallel_time, run_converged in envelope.value:
+            population = run_population
+            times.append(parallel_time)
+            converged = converged and run_converged
     return ConvergenceStats(
         population=population,
         trials=trials,
@@ -82,15 +108,18 @@ def convergence_scaling(
     sizes: Sequence[int],
     trials: int = 5,
     seed: int = 0,
+    jobs: int = 1,
 ) -> List[ConvergenceStats]:
     """Measure convergence at several population sizes.
 
     ``input_for_size(n)`` maps a target population size to the input
     (e.g. ``lambda n: n`` for single-variable protocols or
     ``lambda n: {"x": 2 * n // 3, "y": n // 3}`` for majority).
+    ``jobs`` parallelises the trials within each size; the per-size
+    statistics are unchanged by it.
     """
     return [
-        measure_convergence(protocol, input_for_size(size), trials=trials, seed=seed)
+        measure_convergence(protocol, input_for_size(size), trials=trials, seed=seed, jobs=jobs)
         for size in sizes
     ]
 

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..core.protocol import PopulationProtocol
+from ..parallel import TaskEnvelope, chunk_ranges, default_chunk_size, run_tasks
 from .instrumentation import Instrumentation, InstrumentationSnapshot
 from .scheduler import CountScheduler
 
@@ -92,17 +93,45 @@ class EnsembleResult:
         return "\n".join(lines)
 
 
+def _ensemble_chunk(task: TaskEnvelope) -> List[Tuple[Optional[int], bool, float, Optional[InstrumentationSnapshot]]]:
+    """Run one contiguous block of trials; per-trial rows in trial order.
+
+    Trial ``t`` always runs under ``seed + t`` regardless of which
+    worker executes the block, so the merged ensemble is bit-identical
+    for every ``jobs``/``chunk_size`` combination.
+    """
+    protocol, inputs, start, stop, seed, budget = task.payload
+    rows = []
+    for trial in range(start, stop):
+        scheduler = CountScheduler(protocol, seed=seed + trial)
+        result = scheduler.run(inputs, max_steps=budget)
+        rows.append(
+            (
+                protocol.output_of(result.configuration),
+                result.converged,
+                result.parallel_time,
+                result.instrumentation,
+            )
+        )
+    return rows
+
+
 def run_ensemble(
     protocol: PopulationProtocol,
     inputs,
     trials: int = 50,
     max_parallel_time: float = 500.0,
     seed: int = 0,
+    jobs: int = 1,
+    chunk_size: Optional[int] = None,
 ) -> EnsembleResult:
     """Run ``trials`` independent seeded simulations and aggregate.
 
     Non-converged runs are tallied under their (possibly ``None``)
     final-output verdict but excluded from the time quantiles.
+    ``jobs > 1`` distributes trial chunks over a process pool; trial
+    seeds stay ``seed + trial``, so the aggregate is identical for any
+    worker count.
     """
     if trials < 1:
         raise ValueError(f"need at least one trial, got {trials}")
@@ -112,16 +141,25 @@ def run_ensemble(
     aggregate = Instrumentation()
     population = protocol.initial_configuration(inputs).size
     budget = int(max_parallel_time * population)
-    for trial in range(trials):
-        scheduler = CountScheduler(protocol, seed=seed + trial)
-        result = scheduler.run(inputs, max_steps=budget)
-        verdict = protocol.output_of(result.configuration)
-        verdicts[verdict] = verdicts.get(verdict, 0) + 1
-        if result.converged:
-            converged += 1
-            times.append(result.parallel_time)
-        if result.instrumentation is not None:
-            aggregate.merge(result.instrumentation)
+    if chunk_size is None:
+        chunk_size = default_chunk_size(trials, jobs)
+    envelopes = run_tasks(
+        _ensemble_chunk,
+        [
+            (protocol, inputs, start, stop, seed, budget)
+            for start, stop in chunk_ranges(trials, chunk_size)
+        ],
+        jobs=jobs,
+        label="ensemble",
+    )
+    for envelope in envelopes:
+        for verdict, trial_converged, parallel_time, snapshot in envelope.value:
+            verdicts[verdict] = verdicts.get(verdict, 0) + 1
+            if trial_converged:
+                converged += 1
+                times.append(parallel_time)
+            if snapshot is not None:
+                aggregate.merge(snapshot)
     aggregate.add("runs", trials)
     return EnsembleResult(
         trials=trials,

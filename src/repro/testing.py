@@ -21,7 +21,13 @@ from typing import Sequence, Tuple
 from .core.multiset import Multiset
 from .core.protocol import PopulationProtocol, Transition
 
-__all__ = ["protocols", "configurations", "inputs_for"]
+__all__ = [
+    "protocols",
+    "configurations",
+    "inputs_for",
+    "partitions",
+    "instrumentation_snapshots",
+]
 
 _DEFAULT_STATES: Tuple[str, ...] = ("s0", "s1", "s2", "s3")
 
@@ -81,4 +87,52 @@ def inputs_for(protocol: PopulationProtocol, max_size: int = 8):
         st.dictionaries(st.sampled_from(variables), st.integers(0, max_size))
         .map(Multiset)
         .filter(lambda m: m.size >= minimum and m.size >= 1)
+    )
+
+
+def partitions(total: int, max_chunk: int = None):
+    """A strategy generating contiguous ``[start, stop)`` partitions of ``range(total)``.
+
+    Every drawn value covers ``range(total)`` exactly — the shape the
+    parallel backend's chunked work distribution produces — but with
+    arbitrary (not necessarily equal) chunk widths, so merge code is
+    exercised on every boundary layout, not just the even split.
+    """
+    import hypothesis.strategies as st
+
+    if total < 0:
+        raise ValueError(f"total must be >= 0, got {total}")
+    limit = total if max_chunk is None else max_chunk
+
+    @st.composite
+    def build(draw):
+        cuts = [0]
+        while cuts[-1] < total:
+            width = draw(st.integers(1, max(1, min(limit, total - cuts[-1]))))
+            cuts.append(cuts[-1] + width)
+        return [(cuts[i], cuts[i + 1]) for i in range(len(cuts) - 1)]
+
+    return build()
+
+
+def instrumentation_snapshots(max_entries: int = 4):
+    """A strategy generating :class:`InstrumentationSnapshot` values.
+
+    Counter and timer names come from a small shared alphabet so merges
+    actually collide; counts stay small non-negative integers, timers
+    small non-negative floats.
+    """
+    import hypothesis.strategies as st
+
+    from .simulation.instrumentation import InstrumentationSnapshot
+
+    names = st.sampled_from(["interactions", "silent_checks", "runs", "steps", "probes"])
+    return st.builds(
+        InstrumentationSnapshot,
+        counters=st.dictionaries(names, st.integers(0, 1000), max_size=max_entries),
+        timers=st.dictionaries(
+            names,
+            st.floats(0.0, 10.0, allow_nan=False, allow_infinity=False),
+            max_size=max_entries,
+        ),
     )

@@ -1,0 +1,458 @@
+"""Differential serial-vs-parallel suite for :mod:`repro.parallel`.
+
+The backend's contract is that ``jobs=1`` (the in-process reference
+path) and any ``jobs>1``/chunk-size combination produce bit-identical
+results and identical merged counters.  Nothing here tests *speed* —
+benchmark E13 may only claim a speedup because these tests pin the
+semantics first.
+
+Layout:
+
+* seed derivation — golden values (platform regression), ranges,
+  prefix stability;
+* chunking and merging — unit cases plus property tests over
+  arbitrary partitions (``repro.testing.partitions``);
+* ``run_tasks`` — ordering, seeding, metrics-delta merging;
+* the three wired sweeps (busy-beaver enumeration, conformance,
+  simulation batches) — serial vs parallel at several worker counts;
+* CLI artifacts — golden ``conformance --jobs 2 --json`` output and a
+  ``trace summarize`` pass over a parallel trace.
+"""
+
+import json
+import os
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bounds.enumeration import (
+    BusyBeaverChunk,
+    all_deterministic_protocols,
+    busy_beaver_search,
+    count_deterministic_protocols,
+    fold_threshold_candidates,
+    merge_busy_beaver_chunks,
+    protocol_at,
+)
+from repro.cli import main
+from repro.obs import (
+    RecordingExporter,
+    Tracer,
+    get_metrics,
+    load_trace,
+    registry_snapshot,
+    set_tracer,
+    summarize_trace,
+)
+from repro.parallel import (
+    SEED_BITS,
+    TaskEnvelope,
+    chunk_ranges,
+    default_chunk_size,
+    derive_seed,
+    merge_snapshots,
+    resolve_jobs,
+    run_tasks,
+    spawn_seeds,
+)
+from repro.protocols import binary_threshold
+from repro.simulation.conformance import check_conformance
+from repro.simulation.convergence import measure_convergence
+from repro.simulation.ensembles import run_ensemble
+from repro.testing import instrumentation_snapshots, partitions
+
+# ----------------------------------------------------------------------
+# Seed derivation
+# ----------------------------------------------------------------------
+
+#: Golden seed table: these exact values must hold on every platform,
+#: Python version and worker count — they define the reproducibility
+#: contract of every ``--seed``-bearing artifact produced with --jobs.
+GOLDEN_SEEDS = {
+    (0,): 1529513301298130319,
+    (0, 0): 6039182919140878880,
+    (0, 1): 7347668971071484024,
+    (1, 0): 8180011540420906155,
+}
+
+
+class TestSeeds:
+    def test_golden_table(self):
+        for path, expected in GOLDEN_SEEDS.items():
+            assert derive_seed(*path) == expected, path
+
+    def test_range(self):
+        for path in GOLDEN_SEEDS:
+            assert 0 <= derive_seed(*path) < 2**SEED_BITS
+
+    def test_spawn_prefix_stable(self):
+        assert spawn_seeds(7, 3) == spawn_seeds(7, 5)[:3]
+
+    def test_spawn_matches_derive(self):
+        assert spawn_seeds(7, 3) == tuple(derive_seed(7, i) for i in range(3))
+
+    def test_distinct_paths_distinct_seeds(self):
+        seeds = [derive_seed(0, i) for i in range(100)]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_string_components(self):
+        assert derive_seed(0, "conformance") != derive_seed(0, "ensemble")
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            derive_seed(True)
+
+    @given(st.integers(0, 2**63 - 1), st.integers(0, 1000))
+    def test_derivation_total_and_in_range(self, root, index):
+        seed = derive_seed(root, index)
+        assert 0 <= seed < 2**SEED_BITS
+        assert seed == derive_seed(root, index)
+
+
+# ----------------------------------------------------------------------
+# Chunking
+# ----------------------------------------------------------------------
+
+
+class TestChunking:
+    def test_chunk_ranges_cover(self):
+        assert chunk_ranges(10, 4) == [(0, 4), (4, 8), (8, 10)]
+        assert chunk_ranges(0, 3) == []
+        assert chunk_ranges(3, 10) == [(0, 3)]
+
+    def test_chunk_ranges_validation(self):
+        with pytest.raises(ValueError):
+            chunk_ranges(10, 0)
+        with pytest.raises(ValueError):
+            chunk_ranges(-1, 2)
+
+    def test_default_chunk_size_serial_is_one_chunk(self):
+        assert default_chunk_size(100, 1) == 100
+        assert default_chunk_size(0, 1) == 1
+
+    def test_default_chunk_size_parallel_splits(self):
+        size = default_chunk_size(100, 4)
+        assert 1 <= size < 100
+        assert len(chunk_ranges(100, size)) >= 4
+
+    def test_resolve_jobs(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(0) >= 1
+        assert resolve_jobs(None) >= 1
+        with pytest.raises(ValueError):
+            resolve_jobs(-1)
+
+    @given(st.integers(0, 200), st.integers(1, 50))
+    def test_chunk_ranges_partition_exactly(self, total, chunk_size):
+        ranges = chunk_ranges(total, chunk_size)
+        covered = [i for start, stop in ranges for i in range(start, stop)]
+        assert covered == list(range(total))
+        assert all(stop - start <= chunk_size for start, stop in ranges)
+
+
+# ----------------------------------------------------------------------
+# run_tasks
+# ----------------------------------------------------------------------
+
+
+def _echo_task(task: TaskEnvelope):
+    """Module-level (picklable) task: report what the worker saw."""
+    get_metrics("parallel.test").add("tasks.run")
+    return (task.index, task.payload, task.seed)
+
+
+class TestRunTasks:
+    def test_inline_matches_pool(self):
+        payloads = [f"item-{i}" for i in range(7)]
+        serial = run_tasks(_echo_task, payloads, jobs=1, root_seed=5)
+        pooled = run_tasks(_echo_task, payloads, jobs=3, root_seed=5)
+        assert [e.value for e in serial] == [e.value for e in pooled]
+
+    def test_results_in_task_order(self):
+        envelopes = run_tasks(_echo_task, list(range(11)), jobs=2)
+        assert [e.index for e in envelopes] == list(range(11))
+        assert [e.value[0] for e in envelopes] == list(range(11))
+
+    def test_seeds_derive_from_root(self):
+        envelopes = run_tasks(_echo_task, ["a", "b"], jobs=2, root_seed=42)
+        assert [e.value[2] for e in envelopes] == [derive_seed(42, 0), derive_seed(42, 1)]
+
+    def test_no_root_seed_means_no_seed(self):
+        envelopes = run_tasks(_echo_task, ["a"], jobs=1)
+        assert envelopes[0].value[2] is None
+
+    def test_worker_metrics_merge_into_parent(self):
+        get_metrics("parallel.test").clear()
+        run_tasks(_echo_task, list(range(6)), jobs=2)
+        assert registry_snapshot()["parallel.test"].counter("tasks.run") == 6
+        get_metrics("parallel.test").clear()
+
+
+# ----------------------------------------------------------------------
+# Merging — property tests over arbitrary partitions
+# ----------------------------------------------------------------------
+
+
+class TestMergeProperties:
+    @settings(deadline=None)
+    @given(
+        st.lists(st.integers(2, 6), max_size=30).map(
+            lambda etas: [(f"p{i}", eta) for i, eta in enumerate(etas)]
+        ),
+        st.data(),
+    )
+    def test_busy_beaver_merge_equals_serial_fold(self, candidates, data):
+        """Chunking the candidate stream anywhere must not change the fold."""
+        max_witnesses = data.draw(st.integers(1, 4))
+        parts = data.draw(partitions(len(candidates))) if candidates else []
+        chunks = []
+        for start, stop in parts:
+            best, witnesses, count = fold_threshold_candidates(
+                candidates[start:stop], max_witnesses=8
+            )
+            chunks.append(
+                BusyBeaverChunk(
+                    start=start, stop=stop, best_eta=best,
+                    witnesses=witnesses, threshold_protocols=count,
+                )
+            )
+        merged = merge_busy_beaver_chunks(chunks, max_witnesses)
+        assert merged == fold_threshold_candidates(candidates, max_witnesses)
+
+    @settings(deadline=None)
+    @given(st.lists(instrumentation_snapshots(), max_size=12), st.data())
+    def test_snapshot_merge_is_partition_invariant(self, snapshots, data):
+        parts = data.draw(partitions(len(snapshots))) if snapshots else []
+        piecewise = merge_snapshots(
+            merge_snapshots(snapshots[start:stop]) for start, stop in parts
+        )
+        whole = merge_snapshots(snapshots)
+        assert piecewise.counters == whole.counters
+        assert piecewise.timers == pytest.approx(whole.timers)
+
+    def test_merge_snapshots_empty(self):
+        merged = merge_snapshots([])
+        assert merged.counters == {} and merged.timers == {}
+
+
+# ----------------------------------------------------------------------
+# Enumeration: random access + differential busy-beaver
+# ----------------------------------------------------------------------
+
+
+class TestEnumeration:
+    def test_protocol_at_matches_generator_n2(self):
+        total = count_deterministic_protocols(2)
+        generated = list(all_deterministic_protocols(2))
+        assert len(generated) == total
+        for index, expected in enumerate(generated):
+            actual = protocol_at(2, index)
+            assert actual.name == expected.name
+            assert actual.transitions == expected.transitions
+            assert actual.output == expected.output
+            assert actual.input_mapping == expected.input_mapping
+
+    def test_protocol_at_bounds(self):
+        with pytest.raises(ValueError):
+            protocol_at(2, count_deterministic_protocols(2))
+        with pytest.raises(ValueError):
+            protocol_at(2, -1)
+
+    @pytest.mark.parametrize("jobs,chunk_size", [(2, None), (3, 7), (4, 1)])
+    def test_busy_beaver_differential(self, jobs, chunk_size):
+        serial = busy_beaver_search(2, max_input=6)
+        parallel = busy_beaver_search(2, max_input=6, jobs=jobs, chunk_size=chunk_size)
+        assert parallel == serial
+
+    def test_budget_respected_with_jobs(self):
+        serial = busy_beaver_search(2, max_input=6, enumeration_budget=50)
+        parallel = busy_beaver_search(2, max_input=6, enumeration_budget=50, jobs=2)
+        assert parallel == serial
+        assert serial.protocols_enumerated == 51  # historical budget+1 tally
+
+    def test_max_witnesses_cap(self):
+        with pytest.raises(ValueError):
+            busy_beaver_search(2, max_witnesses=9)
+
+
+# ----------------------------------------------------------------------
+# Conformance, ensembles, convergence — differential
+# ----------------------------------------------------------------------
+
+
+def _normalized_conformance(report):
+    payload = report.to_dict()
+    payload["jobs"] = None
+    payload["instrumentation"]["timers"] = {}
+    return payload
+
+
+class TestSweepDifferentials:
+    @pytest.fixture(scope="class")
+    def protocol(self):
+        return binary_threshold(4)
+
+    def test_conformance(self, protocol):
+        reports = [
+            check_conformance(
+                protocol, 6, samples=200,
+                trajectory_seeds=(0, 1), matched_seeds=(0, 1), jobs=jobs,
+            )
+            for jobs in (1, 2, 4)
+        ]
+        baseline = _normalized_conformance(reports[0])
+        for report in reports[1:]:
+            assert _normalized_conformance(report) == baseline
+        assert reports[0].ok
+
+    def test_conformance_jobs_recorded(self, protocol):
+        report = check_conformance(
+            protocol, 6, samples=100, trajectory_seeds=(0,), matched_seeds=(0,), jobs=2
+        )
+        assert report.jobs == 2
+        assert report.to_dict()["jobs"] == 2
+
+    @pytest.mark.parametrize("jobs,chunk_size", [(2, None), (3, 4), (4, 1)])
+    def test_ensemble(self, protocol, jobs, chunk_size):
+        serial = run_ensemble(protocol, 9, trials=10, seed=7)
+        parallel = run_ensemble(
+            protocol, 9, trials=10, seed=7, jobs=jobs, chunk_size=chunk_size
+        )
+        assert parallel.verdicts == serial.verdicts
+        assert parallel.converged == serial.converged
+        assert parallel.parallel_times == serial.parallel_times
+        assert (
+            parallel.instrumentation.counters == serial.instrumentation.counters
+        )
+
+    def test_convergence(self, protocol):
+        serial = measure_convergence(protocol, 9, trials=8, seed=3)
+        for jobs, chunk_size in [(2, None), (3, 2)]:
+            parallel = measure_convergence(
+                protocol, 9, trials=8, seed=3, jobs=jobs, chunk_size=chunk_size
+            )
+            assert parallel == serial
+
+
+# ----------------------------------------------------------------------
+# CLI artifacts
+# ----------------------------------------------------------------------
+
+
+GOLDEN_CONFORMANCE = os.path.join(
+    os.path.dirname(__file__), "golden", "conformance_jobs2.json"
+)
+
+
+class TestCliArtifacts:
+    def test_conformance_golden(self, capsys):
+        code = main(
+            [
+                "conformance", "binary:4", "--input", "6", "--samples", "200",
+                "--trajectory-seeds", "2", "--jobs", "2", "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        payload["instrumentation"]["timers"] = {}
+        with open(GOLDEN_CONFORMANCE) as handle:
+            golden = json.load(handle)
+        assert payload == golden
+
+    def test_conformance_json_embeds_seed_and_jobs(self, capsys):
+        code = main(
+            [
+                "conformance", "binary:4", "--input", "6", "--samples", "100",
+                "--trajectory-seeds", "1", "--seed", "11", "--jobs", "2", "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["seed"] == 11
+        assert payload["jobs"] == 2
+
+    def test_simulate_trials_json_embeds_root_seed(self, capsys):
+        code = main(
+            ["simulate", "binary:4", "--input", "9", "--trials", "6",
+             "--jobs", "2", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["seed"] == 0  # default root seed, made explicit
+        assert payload["jobs"] == 2
+        assert payload["trials"] == 6
+
+    def test_simulate_trials_differential(self, capsys):
+        payloads = []
+        for jobs in ("1", "2"):
+            assert main(
+                ["simulate", "binary:4", "--input", "9", "--trials", "6",
+                 "--seed", "5", "--jobs", jobs, "--json"]
+            ) == 0
+            payload = json.loads(capsys.readouterr().out)
+            payload["jobs"] = None
+            payload["instrumentation"]["timers"] = {}
+            payloads.append(payload)
+        assert payloads[0] == payloads[1]
+
+    def test_bb_json(self, capsys):
+        code = main(["bb", "2", "--max-input", "6", "--jobs", "2", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["eta"] == 2
+        assert payload["jobs"] == 2
+        assert payload["protocols_enumerated"] == 216
+
+
+# ----------------------------------------------------------------------
+# Traces from parallel runs
+# ----------------------------------------------------------------------
+
+
+class TestParallelTraces:
+    def test_worker_spans_adopted(self):
+        exporter = RecordingExporter()
+        tracer = Tracer([exporter])
+        previous = set_tracer(tracer)
+        try:
+            busy_beaver_search(2, max_input=6, jobs=2, chunk_size=54)
+        finally:
+            set_tracer(previous)
+            tracer.close()
+        records = exporter.records
+        by_name = {}
+        for record in records:
+            by_name.setdefault(record["name"], []).append(record)
+        assert "parallel.pool" in by_name
+        assert "parallel.task" in by_name
+        assert "bounds.busy_beaver.chunk" in by_name
+        # Each adopted chunk span hangs off a parallel.task container,
+        # which hangs off the pool span: no orphans, no cycles.
+        ids = {record["id"] for record in records}
+        pool = by_name["parallel.pool"][0]
+        for task in by_name["parallel.task"]:
+            assert task["parent"] == pool["id"]
+            assert task["depth"] == pool["depth"] + 1
+        task_ids = {record["id"] for record in by_name["parallel.task"]}
+        for chunk in by_name["bounds.busy_beaver.chunk"]:
+            assert chunk["parent"] in task_ids
+            assert chunk["parent"] in ids
+
+    def test_trace_summarize_parallel(self, tmp_path, capsys):
+        trace = tmp_path / "parallel.jsonl"
+        code = main(
+            ["bb", "2", "--max-input", "6", "--jobs", "2",
+             "--chunk-size", "54", "--trace", str(trace)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        records = load_trace(str(trace))
+        summary = summarize_trace(records)
+        assert "parallel.task" in summary
+        assert "bounds.busy_beaver.chunk" in summary
+        # Self-time is computed from parent links; adopted spans must
+        # not drive any row negative.
+        assert not re.search(r"-\d", summary), summary

@@ -4,10 +4,18 @@ from __future__ import annotations
 
 import pytest
 from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.multiset import Multiset
 from repro.core.protocol import PopulationProtocol
-from repro.testing import configurations, inputs_for, protocols
+from repro.obs import InstrumentationSnapshot
+from repro.testing import (
+    configurations,
+    inputs_for,
+    instrumentation_snapshots,
+    partitions,
+    protocols,
+)
 
 
 class TestProtocolsStrategy:
@@ -72,3 +80,31 @@ class TestInputsForStrategy:
             assert configuration.size >= 2
 
         inner()
+
+
+class TestPartitionsStrategy:
+    @settings(max_examples=30)
+    @given(st.integers(0, 40), st.data())
+    def test_partitions_cover_range_exactly(self, total, data):
+        parts = data.draw(partitions(total))
+        covered = [i for start, stop in parts for i in range(start, stop)]
+        assert covered == list(range(total))
+
+    @settings(max_examples=30)
+    @given(st.data())
+    def test_max_chunk_respected(self, data):
+        parts = data.draw(partitions(25, max_chunk=4))
+        assert all(1 <= stop - start <= 4 for start, stop in parts)
+
+    def test_negative_total_rejected(self):
+        with pytest.raises(ValueError):
+            partitions(-1)
+
+
+class TestInstrumentationSnapshotsStrategy:
+    @settings(max_examples=30)
+    @given(instrumentation_snapshots())
+    def test_generates_valid_snapshots(self, snapshot):
+        assert isinstance(snapshot, InstrumentationSnapshot)
+        assert all(value >= 0 for value in snapshot.counters.values())
+        assert all(value >= 0.0 for value in snapshot.timers.values())
