@@ -103,6 +103,28 @@ def test_e12_traced_analyze(benchmark, tmp_path, suffix):
     benchmark.extra_info["max_depth"] = max(r.depth for r in records)
 
 
+def test_e12_memory_spans_off_leaves_hot_path_alone():
+    """Memory spans must be strictly opt-in: with ``memory=False`` (the
+    default) no tracer ever starts tracemalloc, spans carry no memory
+    attributes, and the disabled-path figure asserted in
+    :func:`test_e12_report` keeps holding unchanged."""
+    import tracemalloc
+
+    assert not tracemalloc.is_tracing()
+    tracer = Tracer()
+    assert tracer.memory is False
+    previous = set_tracer(tracer)
+    try:
+        with get_tracer().span("hot") as span:
+            pass
+    finally:
+        set_tracer(previous)
+        tracer.close()
+    assert not tracemalloc.is_tracing()
+    assert "mem_peak_kb" not in span.attributes
+    assert get_tracer().memory is False  # the null tracer too
+
+
 def test_e12_report(tmp_path):
     # Side A: what does the disabled path cost per iteration?
     timings = {}

@@ -77,3 +77,23 @@ print(
     f"1 ill agent among 100: consensus {epidemic.output_of(result.configuration)} "
     f"after {result.parallel_time:.1f} parallel time"
 )
+
+# ----------------------------------------------------------------------
+# 6. Measure it and remember the numbers: the benchmark ledger runs
+#    registered workloads and writes a comparable, schema-versioned
+#    artifact (median/MAD timing, peak memory, deterministic work
+#    counts).  `python -m repro bench run` is the CLI face of this.
+# ----------------------------------------------------------------------
+from repro.obs import compare_artifacts, run_suite
+
+artifact = run_suite(
+    "micro",
+    repeats=2,
+    workload_filter=lambda w: w.name == "saturation.sequence",
+)
+entry = artifact["workloads"]["saturation.sequence"]
+print(
+    f"ledger: saturation.sequence median {entry['median_s'] * 1e3:.2f}ms, "
+    f"peak {entry['peak_kb']:.0f}KB, work {entry['work']}"
+)
+assert compare_artifacts(artifact, artifact).ok("any")  # self-compare is clean

@@ -40,6 +40,7 @@ from .core.parser import parse_predicate
 from .core.protocol import PopulationProtocol
 from .io import dumps, loads, to_dot
 from .obs import (
+    DEFAULT_BASELINE_PATH as _DEFAULT_BASELINE,
     Tracer,
     disable_progress,
     enable_progress,
@@ -116,6 +117,41 @@ def _parse_input(text: str) -> Multiset:
 # ----------------------------------------------------------------------
 
 
+def _positive_int(text: str) -> int:
+    """argparse type: an integer >= 1, rejected with a clean message."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """argparse type: a finite float > 0, rejected with a clean message."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if not value > 0 or value != value or value == float("inf"):
+        raise argparse.ArgumentTypeError(f"must be > 0, got {text}")
+    return value
+
+
+def _jobs_count(text: str) -> int:
+    """argparse type for ``--jobs``: an integer >= 0 (0 = all cores)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 0 (0 = all cores), got {value}"
+        )
+    return value
+
+
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     """``--trace`` / ``--progress`` on the long-running commands."""
     parser.add_argument(
@@ -126,9 +162,22 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
         "or a JSONL event log when FILE ends in .jsonl",
     )
     parser.add_argument(
+        "--trace-memory",
+        action="store_true",
+        help="record per-span tracemalloc peaks/net allocations into the "
+        "trace (needs --trace; slows allocation-heavy code)",
+    )
+    parser.add_argument(
         "--progress",
         action="store_true",
         help="emit periodic progress heartbeats to stderr",
+    )
+    parser.add_argument(
+        "--progress-interval",
+        type=_positive_float,
+        default=1.0,
+        metavar="SECONDS",
+        help="seconds between heartbeats (default 1.0, must be > 0)",
     )
 
 
@@ -136,7 +185,7 @@ def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
     """``--jobs`` on the parallelisable commands (results never depend on it)."""
     parser.add_argument(
         "--jobs",
-        type=int,
+        type=_jobs_count,
         default=1,
         metavar="N",
         help="worker processes (default 1 = in-process; 0 = all cores); "
@@ -148,14 +197,20 @@ def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
 def _observability(args) -> Iterator[None]:
     """Activate tracing/progress around a command, restoring on exit."""
     trace_path = getattr(args, "trace", None)
+    trace_memory = getattr(args, "trace_memory", False)
     progress_on = getattr(args, "progress", False)
+    if trace_memory and not trace_path:
+        raise SystemExit("error: --trace-memory requires --trace FILE")
     if not trace_path and not progress_on:
         yield
         return
-    tracer = Tracer([exporter_for_path(trace_path)] if trace_path else [])
+    tracer = Tracer(
+        [exporter_for_path(trace_path)] if trace_path else [],
+        memory=trace_memory,
+    )
     previous = set_tracer(tracer)
     if progress_on:
-        enable_progress()
+        enable_progress(interval=getattr(args, "progress_interval", 1.0))
     try:
         yield
     finally:
@@ -407,7 +462,86 @@ def _cmd_trace_summarize(args) -> int:
         records = load_trace(args.file)
     except (OSError, ValueError) as error:
         raise SystemExit(f"error: cannot read trace {args.file!r}: {error}")
-    print(summarize_trace(records))
+    print(summarize_trace(records, sort=args.sort))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# The performance ledger (`repro bench ...`)
+# ----------------------------------------------------------------------
+
+
+def _cmd_bench_run(args) -> int:
+    from .obs import ledger
+
+    artifact = ledger.run_suite(
+        args.suite,
+        repeats=args.repeats,
+        jobs=args.jobs,
+        memory=not args.no_memory,
+    )
+    ledger.write_artifact(args.out, artifact)
+    workloads = artifact["workloads"]
+    total = sum(entry["median_s"] for entry in workloads.values())
+    print(
+        f"bench: {len(workloads)} workloads ({args.suite} suite, "
+        f"{args.repeats} repeats, ~{total:.2f}s median total) -> {args.out}"
+    )
+    if artifact["env"]["git_sha"]:
+        print(f"  env: {artifact['env']['git_sha'][:12]} "
+              f"py{artifact['env']['python']} jobs={args.jobs}")
+    return 0
+
+
+def _cmd_bench_compare(args) -> int:
+    from .obs import ledger
+
+    try:
+        base = ledger.load_artifact(args.base)
+        new = ledger.load_artifact(args.new)
+        report = ledger.compare_artifacts(
+            base,
+            new,
+            time_threshold=args.time_threshold,
+            memory_threshold=args.memory_threshold,
+            base_path=args.base,
+            new_path=args.new,
+        )
+    except ledger.LedgerError as error:
+        raise SystemExit(f"error: {error}")
+    print(report.render())
+    if report.ok(args.fail_on):
+        return 0
+    kinds = sorted({f.kind for f in report.regressions()})
+    print(f"\nFAIL ({args.fail_on} policy): regressions of kind {', '.join(kinds)}")
+    return 1
+
+
+def _cmd_bench_baseline(args) -> int:
+    from .obs import ledger
+
+    out = args.out or ledger.DEFAULT_BASELINE_PATH
+    directory = os.path.dirname(out)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    artifact = ledger.run_suite(
+        args.suite, repeats=args.repeats, jobs=args.jobs, memory=not args.no_memory
+    )
+    ledger.write_artifact(out, artifact)
+    print(f"baseline: {len(artifact['workloads'])} workloads ({args.suite} suite) -> {out}")
+    print("commit this file so `repro bench compare` and CI can gate on it")
+    return 0
+
+
+def _cmd_bench_list(args) -> int:
+    from .fmt import render_table
+    from .obs import iter_workloads
+
+    rows = [
+        [w.name, ",".join(w.suites), "yes" if w.parallel else "-", w.description]
+        for w in iter_workloads(args.suite)
+    ]
+    print(render_table(["workload", "suites", "--jobs", "description"], rows))
     return 0
 
 
@@ -504,7 +638,101 @@ def build_parser() -> argparse.ArgumentParser:
     trace_sub = p.add_subparsers(dest="trace_command", required=True)
     ps = trace_sub.add_parser("summarize", help="per-span time/count table of a trace file")
     ps.add_argument("file", help="a .json (Chrome trace-event) or .jsonl trace")
+    ps.add_argument(
+        "--sort",
+        choices=("total", "self", "count"),
+        default="total",
+        help="row order: total wall time (default), self time, or call count",
+    )
     ps.set_defaults(handler=_cmd_trace_summarize)
+
+    p = sub.add_parser(
+        "bench",
+        help="the performance ledger: run benchmark suites, diff artifacts",
+    )
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+
+    pb = bench_sub.add_parser(
+        "run", help="run a workload suite and write a BENCH_*.json artifact"
+    )
+    pb.add_argument("--suite", default="micro", help="workload suite (micro, full)")
+    pb.add_argument(
+        "--repeats",
+        type=_positive_int,
+        default=5,
+        metavar="N",
+        help="timing repeats per workload (median/MAD recorded; default 5)",
+    )
+    pb.add_argument(
+        "--out",
+        required=True,
+        metavar="FILE",
+        help="artifact path, e.g. BENCH_mybranch.json",
+    )
+    pb.add_argument(
+        "--no-memory",
+        action="store_true",
+        help="skip the tracemalloc pass (peak/net memory recorded as null)",
+    )
+    _add_jobs_flag(pb)
+    _add_obs_flags(pb)
+    pb.set_defaults(handler=_cmd_bench_run)
+
+    pb = bench_sub.add_parser(
+        "compare", help="diff two artifacts; non-zero exit on regression"
+    )
+    pb.add_argument("base", help="baseline BENCH_*.json")
+    pb.add_argument("new", help="candidate BENCH_*.json")
+    pb.add_argument(
+        "--time-threshold",
+        type=_positive_float,
+        default=0.25,
+        metavar="FRAC",
+        help="relative median-time excess to flag (default 0.25 = +25%%)",
+    )
+    pb.add_argument(
+        "--memory-threshold",
+        type=_positive_float,
+        default=0.50,
+        metavar="FRAC",
+        help="relative peak-memory excess to flag (default 0.50 = +50%%)",
+    )
+    pb.add_argument(
+        "--fail-on",
+        choices=("any", "work"),
+        default="any",
+        help="exit non-zero on: any regression (default), or only exact "
+        "work-count drift / missing workloads (CI shared-runner policy)",
+    )
+    pb.set_defaults(handler=_cmd_bench_compare)
+
+    pb = bench_sub.add_parser(
+        "baseline", help="(re)record the committed baseline artifact"
+    )
+    pb.add_argument("--suite", default="micro", help="workload suite (default micro)")
+    pb.add_argument(
+        "--repeats", type=_positive_int, default=5, metavar="N",
+        help="timing repeats per workload (default 5)",
+    )
+    pb.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help=f"baseline path (default {_DEFAULT_BASELINE})",
+    )
+    pb.add_argument(
+        "--no-memory", action="store_true",
+        help="skip the tracemalloc pass",
+    )
+    _add_jobs_flag(pb)
+    _add_obs_flags(pb)
+    pb.set_defaults(handler=_cmd_bench_baseline)
+
+    pb = bench_sub.add_parser("list", help="list registered workloads")
+    pb.add_argument(
+        "--suite", default=None, help="restrict to one suite (default: all)"
+    )
+    pb.set_defaults(handler=_cmd_bench_list)
 
     return parser
 

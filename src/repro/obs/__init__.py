@@ -16,14 +16,36 @@ This package makes them observable from three angles:
   simulators (grown out of ``repro.simulation.instrumentation``, which
   remains as a back-compat re-export), with a process-wide registry;
 * :mod:`repro.obs.summary` — reading traces back and rendering the
-  per-span table behind ``repro trace summarize``.
+  per-span table behind ``repro trace summarize``;
+* :mod:`repro.obs.bench` / :mod:`repro.obs.ledger` — the benchmark
+  workload registry and the persistent performance ledger behind
+  ``repro bench run / compare / baseline``.
 """
 
+from .bench import (
+    Workload,
+    get_workload,
+    iter_workloads,
+    register_workload,
+    suite_names,
+)
 from .exporters import (
     ChromeTraceExporter,
     JsonlExporter,
     RecordingExporter,
     exporter_for_path,
+)
+from .ledger import (
+    DEFAULT_BASELINE_PATH,
+    ComparisonReport,
+    Finding,
+    LedgerError,
+    SCHEMA_VERSION,
+    compare_artifacts,
+    environment_fingerprint,
+    load_artifact,
+    run_suite,
+    write_artifact,
 )
 from .metrics import (
     Instrumentation,
@@ -75,4 +97,19 @@ __all__ = [
     "SpanRecord",
     "load_trace",
     "summarize_trace",
+    "Workload",
+    "register_workload",
+    "get_workload",
+    "iter_workloads",
+    "suite_names",
+    "SCHEMA_VERSION",
+    "LedgerError",
+    "run_suite",
+    "write_artifact",
+    "load_artifact",
+    "environment_fingerprint",
+    "compare_artifacts",
+    "ComparisonReport",
+    "Finding",
+    "DEFAULT_BASELINE_PATH",
 ]

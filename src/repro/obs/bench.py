@@ -1,0 +1,336 @@
+"""The benchmark workload registry behind ``repro bench``.
+
+The E-series benchmarks (``benchmarks/bench_e*.py``) time the
+reproduction's pipelines under pytest-benchmark, but a pytest session
+leaves no longitudinal record — nothing compares this PR's numbers to
+the last one's.  This module factors the *workloads* out of those
+benchmark modules into a registry of plain callables so the ledger
+(:mod:`repro.obs.ledger`) can run them programmatically, store the
+results as schema-versioned artifacts, and diff artifacts across
+commits.
+
+A workload is deliberately more than a timed closure:
+
+* it returns a dict of **deterministic work counts** (interactions
+  simulated, Karp–Miller nodes expanded, Pottier frontier vectors,
+  protocols enumerated).  Wall clock on a shared runner is noise;
+  the work counts are exact, so a regression in *algorithmic* work
+  is caught even when timings cannot be trusted;
+* it declares which **suites** it belongs to (``micro`` is the fast
+  subset CI runs on every push; ``full`` adds the heavier instances);
+* it may accept a ``jobs`` hint, which the ledger runner threads
+  through to the parallel backend (:func:`repro.parallel.run_tasks`)
+  so the ledger can record how the pool behaves on this host.
+
+Work counts recorded by span counters (``coverability.karp_miller``
+adds ``nodes``; the Pottier completion adds ``frontier_vectors``) are
+*also* captured: the ledger runs one instrumented pass per workload
+under a live tracer and merges the ``spans`` registry entry into the
+workload's own counts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "Workload",
+    "register_workload",
+    "get_workload",
+    "iter_workloads",
+    "suite_names",
+    "SUITE_MICRO",
+    "SUITE_FULL",
+]
+
+SUITE_MICRO = "micro"
+SUITE_FULL = "full"
+
+WorkloadFn = Callable[..., Mapping[str, int]]
+
+
+class Workload:
+    """One registered benchmark workload.
+
+    ``fn(jobs=N)`` runs the workload once and returns its deterministic
+    work counts.  The same callable serves the ledger runner, the E14
+    pytest benchmark, and ad-hoc profiling.
+    """
+
+    __slots__ = ("name", "suites", "description", "fn", "parallel")
+
+    def __init__(
+        self,
+        name: str,
+        suites: Tuple[str, ...],
+        description: str,
+        fn: WorkloadFn,
+        parallel: bool = False,
+    ):
+        self.name = name
+        self.suites = suites
+        self.description = description
+        self.fn = fn
+        self.parallel = parallel
+
+    def run(self, jobs: int = 1) -> Dict[str, int]:
+        """Execute once; returns the deterministic work-count dict."""
+        counts = self.fn(jobs=jobs) if self.parallel else self.fn()
+        return {key: int(value) for key, value in counts.items()}
+
+    def __repr__(self) -> str:
+        return f"Workload({self.name!r}, suites={self.suites})"
+
+
+_REGISTRY: Dict[str, Workload] = {}
+
+
+def register_workload(
+    name: str,
+    *,
+    suites: Tuple[str, ...] = (SUITE_MICRO, SUITE_FULL),
+    description: str = "",
+    parallel: bool = False,
+) -> Callable[[WorkloadFn], WorkloadFn]:
+    """Decorator registering a workload callable under ``name``."""
+
+    def decorate(fn: WorkloadFn) -> WorkloadFn:
+        if name in _REGISTRY:
+            raise ValueError(f"workload {name!r} registered twice")
+        _REGISTRY[name] = Workload(name, suites, description, fn, parallel)
+        return fn
+
+    return decorate
+
+
+def get_workload(name: str) -> Workload:
+    """Look up one workload; raises ``KeyError`` with the known names."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown workload {name!r} (known: {known})")
+
+
+def iter_workloads(suite: Optional[str] = None) -> List[Workload]:
+    """Workloads in a suite (or all), in registration order."""
+    if suite is None:
+        return list(_REGISTRY.values())
+    if suite not in suite_names():
+        raise ValueError(
+            f"unknown suite {suite!r} (known: {', '.join(sorted(suite_names()))})"
+        )
+    return [w for w in _REGISTRY.values() if suite in w.suites]
+
+
+def suite_names() -> Iterable[str]:
+    """Every suite any workload declares."""
+    names = set()
+    for workload in _REGISTRY.values():
+        names.update(workload.suites)
+    return names
+
+
+# ----------------------------------------------------------------------
+# The shipped workloads — each mirrors one E-series benchmark driver.
+# Inputs are fixed and seeds are pinned so the work counts are exact
+# reproducibility anchors, not samples.
+# ----------------------------------------------------------------------
+
+
+@register_workload(
+    "simulate.count",
+    description="CountScheduler to silent consensus (E10 exact sampler)",
+)
+def _simulate_count() -> Dict[str, int]:
+    from ..protocols import binary_threshold
+    from ..simulation import CountScheduler
+
+    scheduler = CountScheduler(binary_threshold(8), seed=0)
+    result = scheduler.run({"x": 400}, max_steps=200_000)
+    return {
+        "interactions": result.interactions,
+        "converged": int(result.converged),
+    }
+
+
+@register_workload(
+    "simulate.batch",
+    description="tau-leaping batch simulator, n=50k (E10 ladder top)",
+)
+def _simulate_batch() -> Dict[str, int]:
+    from ..protocols import binary_threshold
+    from ..simulation import BatchScheduler
+
+    scheduler = BatchScheduler(binary_threshold(8), seed=0, epsilon=0.05)
+    n, budget = 50_000, 100_000
+    scheduler.reset(n)
+    done = 0
+    leap = max(1, int(0.05 * n))
+    while done < budget:
+        done += scheduler.leap(min(leap, budget - done))
+    return {"interactions": done}
+
+
+def _karp_miller_counts(eta: int, node_budget: int) -> Dict[str, int]:
+    """Shared driver: an all-inputs-at-once tree over ``flat:eta``.
+
+    The flat (unary) family is used because its omega-rooted tree
+    grows with ``eta`` (the binary family saturates in a handful of
+    nodes), so the workload actually exercises node expansion.
+    """
+    from ..protocols import flat_threshold
+    from ..reachability.coverability import OMEGA, karp_miller
+    from ..reachability.pseudo import input_state
+
+    protocol = flat_threshold(eta)
+    indexed = protocol.indexed()
+    x_index = indexed.index[input_state(protocol)]
+    root = tuple(
+        OMEGA if i == x_index else 0 for i in range(indexed.n)
+    )
+    tree = karp_miller(protocol, [root], node_budget=node_budget)
+    return {"nodes": len(tree.nodes), "limits": len(tree.limits)}
+
+
+@register_workload(
+    "coverability.karp_miller",
+    description="Karp–Miller tree with an omega root (analyze hot path)",
+)
+def _karp_miller() -> Dict[str, int]:
+    return _karp_miller_counts(6, node_budget=100_000)
+
+
+@register_workload(
+    "pottier.realisable_basis",
+    description="Contejean–Devie completion: Hilbert basis of realisables (E5)",
+)
+def _pottier_basis() -> Dict[str, int]:
+    from ..protocols import binary_threshold
+    from ..reachability import realisable_basis
+
+    basis = realisable_basis(binary_threshold(4))
+    return {"basis": len(basis)}
+
+
+@register_workload(
+    "saturation.sequence",
+    description="Lemma 5.4 saturation sequence construction (E4)",
+)
+def _saturation() -> Dict[str, int]:
+    from ..analysis import saturation_sequence
+    from ..protocols import binary_threshold
+
+    result = saturation_sequence(binary_threshold(6))
+    return {
+        "input_size": result.input_size,
+        "sequence_length": result.sequence.length,
+    }
+
+
+@register_workload(
+    "enumeration.bb2",
+    description="busy-beaver enumeration of all 2-state protocols (E2/E13)",
+    parallel=True,
+)
+def _bb2(jobs: int = 1) -> Dict[str, int]:
+    from ..bounds.enumeration import busy_beaver_search
+
+    result = busy_beaver_search(2, max_input=6, jobs=jobs)
+    return {
+        "protocols_enumerated": result.protocols_enumerated,
+        "threshold_protocols": result.threshold_protocols,
+        "eta": result.eta,
+    }
+
+
+@register_workload(
+    "certify.section4",
+    description="Section 4 pumping certificate search (E7)",
+)
+def _section4() -> Dict[str, int]:
+    from ..bounds.pipeline import section4_certificate
+    from ..protocols import binary_threshold
+
+    certificate = section4_certificate(binary_threshold(4), max_length=12)
+    found = certificate is not None
+    report = certificate.check() if found else None
+    return {
+        "found": int(found),
+        "a": report.a if report is not None else 0,
+    }
+
+
+@register_workload(
+    "verify.exact",
+    description="exact predicate verification over all small inputs (E1)",
+)
+def _verify() -> Dict[str, int]:
+    from .. import counting, verify_protocol
+    from ..protocols import binary_threshold
+
+    report = verify_protocol(binary_threshold(4), counting(4), max_input_size=10)
+    return {"inputs_checked": report.inputs_checked, "ok": int(report.ok)}
+
+
+@register_workload(
+    "obs.null_tracer",
+    description="disabled-tracer span path, 200k iterations (E12 guard)",
+)
+def _null_tracer_overhead() -> Dict[str, int]:
+    from .progress import progress
+    from .tracer import get_tracer
+
+    iterations = 200_000
+    meter = progress("ledger-null")
+    for _ in range(iterations):
+        with get_tracer().span("hot"):
+            meter.tick()
+    return {"iterations": iterations}
+
+
+# -- full-suite extras: the same pipelines at heavier instances --------
+
+
+@register_workload(
+    "coverability.karp_miller_large",
+    suites=(SUITE_FULL,),
+    description="Karp–Miller at flat:7 (heavier coverability instance)",
+)
+def _karp_miller_large() -> Dict[str, int]:
+    return _karp_miller_counts(7, node_budget=200_000)
+
+
+@register_workload(
+    "pottier.realisable_basis_large",
+    suites=(SUITE_FULL,),
+    description="Hilbert basis at binary:8 (E5 heaviest shipped instance)",
+)
+def _pottier_basis_large() -> Dict[str, int]:
+    from ..protocols import binary_threshold
+    from ..reachability import realisable_basis
+
+    basis = realisable_basis(binary_threshold(8))
+    return {"basis": len(basis)}
+
+
+@register_workload(
+    "simulate.ensemble",
+    suites=(SUITE_FULL,),
+    description="seeded 100-trial ensemble (E9 convergence sweep)",
+    parallel=True,
+)
+def _ensemble(jobs: int = 1) -> Dict[str, int]:
+    from ..protocols import binary_threshold
+    from ..simulation.ensembles import run_ensemble
+
+    result = run_ensemble(
+        binary_threshold(4), 30, trials=100, seed=0, jobs=jobs
+    )
+    return {
+        "trials": result.trials,
+        "converged": result.converged,
+        "interactions": result.instrumentation.counter("interactions")
+        if result.instrumentation is not None
+        else 0,
+    }

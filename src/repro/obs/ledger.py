@@ -1,0 +1,469 @@
+"""The performance ledger: persistent benchmark artifacts and diffs.
+
+The searches this repo reproduces have Ackermannian worst cases, so
+"fast as the hardware allows" is meaningless without a longitudinal
+record: which commit made the Karp–Miller loop 2× slower, which one
+doubled the Pottier completion's memory.  The ledger turns one run of
+the workload registry (:mod:`repro.obs.bench`) into a schema-versioned
+JSON artifact and compares any two artifacts with robust change
+detection.
+
+Measurement protocol, per workload:
+
+1. **Timing passes** — ``repeats`` runs under the *null* tracer (the
+   production configuration), reduced to median and MAD.  Median/MAD
+   rather than mean/stddev because shared runners produce heavy-tailed
+   timing noise; a single descheduling event must not poison the
+   artifact.
+2. **One instrumented pass** — under a live (exporter-less) tracer
+   with ``tracemalloc`` running: captures the deterministic work
+   counts (both the workload's own return dict and the span counters
+   folded into the metrics registry), the tracemalloc **peak** over
+   the run, and the net allocation delta.  This pass is never timed —
+   tracemalloc costs an order of magnitude on allocation-heavy code,
+   which is exactly why memory observation is a separate pass (and
+   off by default in the tracer itself).
+
+Comparison semantics (:func:`compare_artifacts`):
+
+* **work counts** — exact: any drift is a finding.  Wall clock on CI
+  is noise; ``nodes expanded`` is not.
+* **time** — a regression needs *both* a relative excess over the
+  threshold *and* a robust-significance excess (the median delta must
+  exceed ``3 * (MAD_a + MAD_b)`` plus an absolute floor), so MAD-sized
+  jitter on a quiet workload never fires.
+* **memory** — same rule against the tracemalloc peaks, with a
+  coarser default threshold (allocator layout shifts between Python
+  versions).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import statistics
+import subprocess
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from .bench import Workload, iter_workloads
+from .metrics import clear_registry, registry_snapshot
+from .progress import progress
+from .tracer import NULL_TRACER, Tracer, set_tracer
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ARTIFACT_KIND",
+    "LedgerError",
+    "run_suite",
+    "write_artifact",
+    "load_artifact",
+    "environment_fingerprint",
+    "Finding",
+    "ComparisonReport",
+    "compare_artifacts",
+    "DEFAULT_BASELINE_PATH",
+]
+
+SCHEMA_VERSION = 1
+ARTIFACT_KIND = "repro-bench-ledger"
+
+# The committed seed baseline CI compares against (repo-relative).
+DEFAULT_BASELINE_PATH = os.path.join("benchmarks", "baselines", "BENCH_seed.json")
+
+
+class LedgerError(ValueError):
+    """Malformed, missing, or schema-incompatible ledger artifact."""
+
+
+# ----------------------------------------------------------------------
+# Running a suite
+# ----------------------------------------------------------------------
+
+
+def environment_fingerprint(jobs: int) -> Dict[str, Any]:
+    """Where and how this artifact was produced (stored verbatim)."""
+    try:
+        sha = (
+            subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                capture_output=True,
+                text=True,
+                timeout=10,
+                check=True,
+            ).stdout.strip()
+            or None
+        )
+    except (OSError, subprocess.SubprocessError):
+        sha = None
+    return {
+        "git_sha": sha,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "jobs": jobs,
+    }
+
+
+def _median_mad(samples: Sequence[float]) -> Dict[str, float]:
+    median = statistics.median(samples)
+    mad = statistics.median(abs(s - median) for s in samples)
+    return {"median_s": median, "mad_s": mad}
+
+
+def _measure_workload(
+    workload: Workload, *, repeats: int, jobs: int, memory: bool
+) -> Dict[str, Any]:
+    """The two-pass measurement protocol for one workload."""
+    # Warm-up (imports, caches) — never recorded.
+    workload.run(jobs=jobs)
+
+    # Timing passes: force the null tracer so we time the production
+    # configuration even when the surrounding CLI run is being traced.
+    previous = set_tracer(NULL_TRACER)
+    times: List[float] = []
+    try:
+        for _ in range(repeats):
+            start = time.perf_counter()
+            workload.run(jobs=jobs)
+            times.append(time.perf_counter() - start)
+    finally:
+        set_tracer(previous)
+
+    # Instrumented pass: work counts + memory, never timed.
+    clear_registry()
+    tracer = Tracer()
+    set_tracer(tracer)
+    started_tracemalloc = False
+    peak_kb: Optional[float] = None
+    net_kb: Optional[float] = None
+    try:
+        if memory and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            started_tracemalloc = True
+        if memory:
+            base_current, _ = tracemalloc.get_traced_memory()
+            tracemalloc.reset_peak()
+        work = dict(workload.run(jobs=jobs))
+        if memory:
+            current, peak = tracemalloc.get_traced_memory()
+            peak_kb = round((peak - base_current) / 1024.0, 1)
+            net_kb = round((current - base_current) / 1024.0, 1)
+    finally:
+        tracer.close()
+        set_tracer(previous)
+        if started_tracemalloc:
+            tracemalloc.stop()
+
+    # Span counters recorded inside the pipelines (nodes expanded,
+    # Pottier frontier vectors, saturation rounds) are deterministic
+    # work counts too; fold them in under their span-qualified names.
+    spans = registry_snapshot().get("spans")
+    if spans is not None:
+        for name, value in spans.counters.items():
+            work.setdefault(name, int(value))
+    clear_registry()
+
+    entry: Dict[str, Any] = {
+        "repeats": repeats,
+        "times_s": [round(t, 6) for t in times],
+        **{k: round(v, 6) for k, v in _median_mad(times).items()},
+        "peak_kb": peak_kb,
+        "net_kb": net_kb,
+        "work": work,
+    }
+    return entry
+
+
+def run_suite(
+    suite: str = "micro",
+    *,
+    repeats: int = 5,
+    jobs: int = 1,
+    memory: bool = True,
+    progress_label: str = "bench",
+    workload_filter: Optional[Callable[[Workload], bool]] = None,
+) -> Dict[str, Any]:
+    """Run every workload in ``suite``; returns the artifact dict."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    workloads = iter_workloads(suite)
+    if workload_filter is not None:
+        workloads = [w for w in workloads if workload_filter(w)]
+    if not workloads:
+        raise LedgerError(f"suite {suite!r} selected no workloads")
+    done = 0
+    meter = progress(
+        progress_label, lambda: {"workloads_done": done, "workloads": len(workloads)}
+    )
+    results: Dict[str, Any] = {}
+    for workload in workloads:
+        results[workload.name] = _measure_workload(
+            workload, repeats=repeats, jobs=jobs, memory=memory
+        )
+        results[workload.name]["description"] = workload.description
+        done += 1
+        meter.tick()
+    meter.finish()
+    return {
+        "kind": ARTIFACT_KIND,
+        "schema": SCHEMA_VERSION,
+        "created_unix": round(time.time(), 3),
+        "suite": suite,
+        "repeats": repeats,
+        "memory": memory,
+        "env": environment_fingerprint(jobs),
+        "workloads": results,
+    }
+
+
+def write_artifact(path: str, artifact: Mapping[str, Any]) -> None:
+    """Serialise an artifact as stable, diff-friendly JSON."""
+    with open(path, "w") as handle:
+        json.dump(artifact, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+def load_artifact(path: str) -> Dict[str, Any]:
+    """Read and schema-check one ``BENCH_*.json`` artifact."""
+    try:
+        with open(path) as handle:
+            artifact = json.load(handle)
+    except OSError as error:
+        raise LedgerError(f"cannot read artifact {path!r}: {error}")
+    except json.JSONDecodeError as error:
+        raise LedgerError(f"artifact {path!r} is not valid JSON: {error}")
+    if not isinstance(artifact, dict) or artifact.get("kind") != ARTIFACT_KIND:
+        raise LedgerError(
+            f"artifact {path!r} is not a {ARTIFACT_KIND} artifact"
+        )
+    if artifact.get("schema") != SCHEMA_VERSION:
+        raise LedgerError(
+            f"artifact {path!r} has schema {artifact.get('schema')!r}, "
+            f"this build reads schema {SCHEMA_VERSION}"
+        )
+    if not isinstance(artifact.get("workloads"), dict):
+        raise LedgerError(f"artifact {path!r} has no workloads table")
+    return artifact
+
+
+# ----------------------------------------------------------------------
+# Comparing two artifacts
+# ----------------------------------------------------------------------
+
+# A median delta below this is never significant, whatever the ratio —
+# sub-millisecond workloads jitter by full multiples on shared runners.
+_TIME_FLOOR_S = 0.002
+_MEMORY_FLOOR_KB = 256.0
+_MAD_SIGMA = 3.0
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One detected change between two artifacts."""
+
+    workload: str
+    kind: str  # "time" | "memory" | "work" | "missing" | "added"
+    detail: str
+    regression: bool  # False for improvements / informational findings
+
+    def render(self) -> str:
+        tag = "REGRESSION" if self.regression else "note"
+        return f"[{tag}] {self.workload}: {self.detail}"
+
+
+@dataclass
+class ComparisonReport:
+    """Everything ``repro bench compare`` prints and gates on."""
+
+    base_path: str
+    new_path: str
+    findings: List[Finding] = field(default_factory=list)
+    rows: List[List[str]] = field(default_factory=list)
+
+    def regressions(self, kinds: Optional[Sequence[str]] = None) -> List[Finding]:
+        """Regression findings, optionally restricted to some kinds."""
+        return [
+            f
+            for f in self.findings
+            if f.regression and (kinds is None or f.kind in kinds)
+        ]
+
+    def ok(self, fail_on: str = "any") -> bool:
+        """Gate: ``any`` fails on every regression kind; ``work`` only
+        on exact-work drift and missing workloads (the CI shared-runner
+        policy, where wall clock is advisory)."""
+        if fail_on == "any":
+            return not self.regressions()
+        if fail_on == "work":
+            return not self.regressions(kinds=("work", "missing"))
+        raise ValueError(f"fail_on must be 'any' or 'work', got {fail_on!r}")
+
+    def render(self) -> str:
+        from ..fmt import render_table
+
+        table = render_table(
+            ["workload", "base", "new", "Δ time", "base peak", "new peak", "verdict"],
+            self.rows,
+        )
+        lines = [f"base: {self.base_path}", f"new:  {self.new_path}", "", table]
+        if self.findings:
+            lines.append("")
+            lines.extend(f.render() for f in self.findings)
+        else:
+            lines.append("\nno significant changes detected")
+        return "\n".join(lines)
+
+
+def _fmt_time(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "-"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.3f}s"
+
+
+def _fmt_kb(kb: Optional[float]) -> str:
+    if kb is None:
+        return "-"
+    if kb >= 1024:
+        return f"{kb / 1024:.1f}MB"
+    return f"{kb:.0f}KB"
+
+
+def _significant(
+    base: float,
+    new: float,
+    base_mad: float,
+    new_mad: float,
+    *,
+    threshold: float,
+    floor: float,
+) -> bool:
+    """The robust two-condition change test (see module docstring)."""
+    delta = new - base
+    if delta <= max(floor, threshold * base):
+        return False
+    return delta > _MAD_SIGMA * (base_mad + new_mad) + floor
+
+
+def compare_artifacts(
+    base: Mapping[str, Any],
+    new: Mapping[str, Any],
+    *,
+    time_threshold: float = 0.25,
+    memory_threshold: float = 0.50,
+    base_path: str = "<base>",
+    new_path: str = "<new>",
+) -> ComparisonReport:
+    """Diff two loaded artifacts into a :class:`ComparisonReport`."""
+    for label, artifact in (("base", base), ("new", new)):
+        if artifact.get("schema") != SCHEMA_VERSION:
+            raise LedgerError(
+                f"{label} artifact has schema {artifact.get('schema')!r}, "
+                f"expected {SCHEMA_VERSION}"
+            )
+    report = ComparisonReport(base_path=base_path, new_path=new_path)
+    base_workloads: Dict[str, Any] = base["workloads"]
+    new_workloads: Dict[str, Any] = new["workloads"]
+
+    for name in sorted(set(base_workloads) | set(new_workloads)):
+        if name not in new_workloads:
+            report.findings.append(
+                Finding(name, "missing", "workload present in base but not in new run", True)
+            )
+            continue
+        if name not in base_workloads:
+            report.findings.append(
+                Finding(name, "added", "new workload (no baseline yet)", False)
+            )
+            continue
+        entry_base, entry_new = base_workloads[name], new_workloads[name]
+        verdicts: List[str] = []
+
+        # Exact work counts: any drift on a shared key is a hard finding.
+        work_base = entry_base.get("work", {})
+        work_new = entry_new.get("work", {})
+        drifted = {
+            key: (work_base[key], work_new[key])
+            for key in set(work_base) & set(work_new)
+            if work_base[key] != work_new[key]
+        }
+        if drifted:
+            detail = ", ".join(
+                f"{key}: {old} -> {fresh}" for key, (old, fresh) in sorted(drifted.items())
+            )
+            report.findings.append(
+                Finding(name, "work", f"work-count drift ({detail})", True)
+            )
+            verdicts.append("work drift")
+
+        # Robust wall-clock comparison.
+        t_base, t_new = entry_base["median_s"], entry_new["median_s"]
+        mad_base = entry_base.get("mad_s", 0.0)
+        mad_new = entry_new.get("mad_s", 0.0)
+        if _significant(
+            t_base, t_new, mad_base, mad_new,
+            threshold=time_threshold, floor=_TIME_FLOOR_S,
+        ):
+            report.findings.append(
+                Finding(
+                    name,
+                    "time",
+                    f"median {_fmt_time(t_base)} -> {_fmt_time(t_new)} "
+                    f"({t_new / t_base:.2f}x, threshold {1 + time_threshold:.2f}x)",
+                    True,
+                )
+            )
+            verdicts.append(f"time {t_new / t_base:.2f}x")
+        elif _significant(
+            t_new, t_base, mad_new, mad_base,
+            threshold=time_threshold, floor=_TIME_FLOOR_S,
+        ):
+            report.findings.append(
+                Finding(
+                    name,
+                    "time",
+                    f"improved: median {_fmt_time(t_base)} -> {_fmt_time(t_new)} "
+                    f"({t_base / t_new:.2f}x faster)",
+                    False,
+                )
+            )
+            verdicts.append("faster")
+
+        # Memory peaks, when both artifacts carried the memory pass.
+        m_base, m_new = entry_base.get("peak_kb"), entry_new.get("peak_kb")
+        if m_base is not None and m_new is not None:
+            if _significant(
+                m_base, m_new, 0.0, 0.0,
+                threshold=memory_threshold, floor=_MEMORY_FLOOR_KB,
+            ):
+                report.findings.append(
+                    Finding(
+                        name,
+                        "memory",
+                        f"peak {_fmt_kb(m_base)} -> {_fmt_kb(m_new)} "
+                        f"({m_new / max(m_base, 1e-9):.2f}x)",
+                        True,
+                    )
+                )
+                verdicts.append("memory")
+
+        delta_pct = (t_new / t_base - 1.0) * 100 if t_base > 0 else 0.0
+        report.rows.append(
+            [
+                name,
+                _fmt_time(t_base),
+                _fmt_time(t_new),
+                f"{delta_pct:+.1f}%",
+                _fmt_kb(m_base),
+                _fmt_kb(m_new),
+                "; ".join(verdicts) or "ok",
+            ]
+        )
+    return report

@@ -126,7 +126,14 @@ _INTERVAL = 1.0
 
 
 def enable_progress(stream: Optional[TextIO] = None, interval: float = 1.0) -> None:
-    """Turn heartbeat emission on (CLI ``--progress``)."""
+    """Turn heartbeat emission on (CLI ``--progress``).
+
+    ``interval`` is seconds between heartbeats and must be positive —
+    a zero or negative interval would turn the rate limiter into a
+    per-tick emitter and flood stderr.
+    """
+    if not interval > 0:
+        raise ValueError(f"heartbeat interval must be > 0 seconds, got {interval}")
     global _ENABLED, _STREAM, _INTERVAL
     _ENABLED = True
     _STREAM = stream

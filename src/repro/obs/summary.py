@@ -4,8 +4,15 @@ Reads back either exporter format — the JSONL event log or the Chrome
 trace-event JSON — into a common :class:`SpanRecord` list, and renders
 a per-span-name aggregate table: call count, total and *self* wall
 time (total minus direct children, computed from the recorded
-parent/child links, so re-entrant span names never double-count), and
-the summed per-span counters.
+parent/child links, so re-entrant span names never double-count), the
+summed per-span counters, and — when the trace was recorded with
+memory spans on — the maximum per-span memory peak.
+
+Traces from killed or still-running processes are first-class inputs:
+a truncated JSONL tail line is skipped rather than fatal, and *orphan*
+spans (``parent_id`` pointing at a span that never made it into the
+file, e.g. a parent still open when the process died) are aggregated
+as roots instead of raising.
 """
 
 from __future__ import annotations
@@ -33,11 +40,19 @@ class SpanRecord:
 
 def _from_jsonl(lines: List[str]) -> List[SpanRecord]:
     records: List[SpanRecord] = []
-    for line in lines:
+    for index, line in enumerate(lines):
         line = line.strip()
         if not line:
             continue
-        payload = json.loads(line)
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError:
+            # A killed run leaves a half-written final line; every
+            # complete line is still a valid record, so summarising the
+            # partial trace is exactly what a post-mortem needs.
+            if index == len(lines) - 1:
+                continue
+            raise
         if payload.get("type") != "span":
             continue
         records.append(
@@ -97,50 +112,93 @@ def load_trace(path: str) -> List[SpanRecord]:
     return _from_jsonl(text.splitlines())
 
 
-def summarize_trace(records: List[SpanRecord]) -> str:
-    """Render the per-span aggregate table (sorted by total time)."""
+_SORT_KEYS = {
+    "total": "total_us",
+    "self": "self_us",
+    "count": "count",
+}
+
+
+def summarize_trace(records: List[SpanRecord], sort: str = "total") -> str:
+    """Render the per-span aggregate table.
+
+    ``sort`` orders rows by ``total`` wall time (default), ``self``
+    time, or call ``count``.  Spans whose recorded parent is absent
+    from the file (a truncated trace from a killed run) are treated as
+    roots and reported in the header rather than raising.
+    """
     from ..fmt import render_table
 
+    if sort not in _SORT_KEYS:
+        raise ValueError(
+            f"sort must be one of {sorted(_SORT_KEYS)}, got {sort!r}"
+        )
     if not records:
         return "(empty trace: no finished spans)"
 
+    known_ids = {record.span_id for record in records if record.span_id is not None}
+    orphans = sum(
+        1
+        for record in records
+        if record.parent_id is not None and record.parent_id not in known_ids
+    )
     child_time: Dict[Optional[int], float] = {}
     for record in records:
-        if record.parent_id is not None:
+        if record.parent_id is not None and record.parent_id in known_ids:
             child_time[record.parent_id] = (
                 child_time.get(record.parent_id, 0.0) + record.dur_us
             )
 
+    has_memory = any("mem_peak_kb" in record.attributes for record in records)
     by_name: Dict[str, Dict[str, Any]] = {}
     for record in records:
         entry = by_name.setdefault(
             record.name,
-            {"count": 0, "total_us": 0.0, "self_us": 0.0, "counters": {}},
+            {
+                "count": 0,
+                "total_us": 0.0,
+                "self_us": 0.0,
+                "counters": {},
+                "peak_kb": None,
+            },
         )
         entry["count"] += 1
         entry["total_us"] += record.dur_us
         entry["self_us"] += max(0.0, record.dur_us - child_time.get(record.span_id, 0.0))
+        peak = record.attributes.get("mem_peak_kb")
+        if isinstance(peak, (int, float)):
+            entry["peak_kb"] = max(entry["peak_kb"] or 0.0, float(peak))
         for key, value in record.counters.items():
             entry["counters"][key] = entry["counters"].get(key, 0) + value
 
+    sort_key = _SORT_KEYS[sort]
     rows = []
-    for name, entry in sorted(by_name.items(), key=lambda kv: -kv[1]["total_us"]):
+    for name, entry in sorted(by_name.items(), key=lambda kv: -kv[1][sort_key]):
         counters = " ".join(
             f"{key}={value}" for key, value in sorted(entry["counters"].items())
         )
-        rows.append(
-            [
-                name,
-                entry["count"],
-                f"{entry['total_us'] / 1e6:.3f}s",
-                f"{entry['self_us'] / 1e6:.3f}s",
-                f"{entry['total_us'] / entry['count'] / 1e3:.2f}ms",
-                counters or "-",
-            ]
-        )
-    table = render_table(["span", "count", "total", "self", "mean", "counters"], rows)
+        row = [
+            name,
+            entry["count"],
+            f"{entry['total_us'] / 1e6:.3f}s",
+            f"{entry['self_us'] / 1e6:.3f}s",
+            f"{entry['total_us'] / entry['count'] / 1e3:.2f}ms",
+        ]
+        if has_memory:
+            peak = entry["peak_kb"]
+            row.append("-" if peak is None else f"{peak:.0f}KB")
+        row.append(counters or "-")
+        rows.append(row)
+    headers = ["span", "count", "total", "self", "mean"]
+    if has_memory:
+        headers.append("peak mem")
+    headers.append("counters")
+    table = render_table(headers, rows)
     deepest = max(record.depth for record in records)
-    return (
+    header = (
         f"{len(records)} spans, {len(by_name)} distinct names, "
-        f"max depth {deepest}\n\n{table}"
+        f"max depth {deepest}"
     )
+    if orphans:
+        header += f", {orphans} orphan span{'s' if orphans != 1 else ''} (truncated trace?)"
+    return f"{header}\n\n{table}"

@@ -32,6 +32,7 @@ trace-event format.
 from __future__ import annotations
 
 import time
+import tracemalloc
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 __all__ = [
@@ -72,6 +73,8 @@ class Span:
         "end_us",
         "attributes",
         "counters",
+        "mem_start_bytes",
+        "mem_peak_bytes",
     )
 
     def __init__(
@@ -91,6 +94,10 @@ class Span:
         self.end_us: Optional[float] = None
         self.attributes = attributes
         self.counters: Dict[str, int] = {}
+        # Memory-span bookkeeping (set only when the owning tracer runs
+        # with memory=True; plain tracers never touch these).
+        self.mem_start_bytes: Optional[int] = None
+        self.mem_peak_bytes: Optional[int] = None
 
     @property
     def duration_us(self) -> float:
@@ -139,12 +146,26 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self, exporters: Iterable[SpanExporter] = ()):
+    def __init__(self, exporters: Iterable[SpanExporter] = (), *, memory: bool = False):
+        """``memory=True`` turns on per-span memory observation: every
+        finished span carries ``mem_peak_kb`` (tracemalloc peak above
+        the span's entry level, children included) and ``mem_net_kb``
+        (allocation delta surviving the span) attributes.  Off by
+        default — tracemalloc multiplies allocation cost, and the
+        disabled-tracer contract (E12) must stay untouched.  The tracer
+        starts tracemalloc if nothing else has, and stops it again on
+        :meth:`close`.
+        """
         self._exporters: List[SpanExporter] = list(exporters)
         self._stack: List[Span] = []
         self._next_id = 1
         self._origin_ns = time.perf_counter_ns()
         self.finished_spans = 0
+        self.memory = bool(memory)
+        self._started_tracemalloc = False
+        if self.memory and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_tracemalloc = True
 
     # ------------------------------------------------------------------
 
@@ -163,11 +184,34 @@ class Tracer:
             attributes=attributes,
         )
         self._next_id += 1
+        if self.memory:
+            # Window accounting: remember the entry level and reset the
+            # global tracemalloc peak so this span's window starts clean.
+            # Nested spans re-reset it; _finish propagates each child's
+            # observed peak back to its parent, so every open span still
+            # sees the true maximum over its whole extent.
+            current, _ = tracemalloc.get_traced_memory()
+            span.mem_start_bytes = current
+            span.mem_peak_bytes = current
+            tracemalloc.reset_peak()
         self._stack.append(span)
         return _OpenSpan(self, span)
 
     def _finish(self, span: Span) -> None:
         span.end_us = self._now_us()
+        if self.memory and span.mem_start_bytes is not None:
+            current, window_peak = tracemalloc.get_traced_memory()
+            peak = max(span.mem_peak_bytes or 0, window_peak)
+            span.set(
+                mem_peak_kb=round(max(0, peak - span.mem_start_bytes) / 1024.0, 1),
+                mem_net_kb=round((current - span.mem_start_bytes) / 1024.0, 1),
+            )
+            tracemalloc.reset_peak()
+            # The enclosing span must not lose this peak to the reset.
+            if len(self._stack) >= 2:
+                parent = self._stack[-2]
+                if parent.mem_peak_bytes is not None:
+                    parent.mem_peak_bytes = max(parent.mem_peak_bytes, peak)
         # Tolerate mis-nested exits (an exception unwinding through
         # several spans): pop up to and including this span.
         while self._stack:
@@ -252,6 +296,9 @@ class Tracer:
             self._finish(self._stack[-1])
         for exporter in self._exporters:
             exporter.close()
+        if self._started_tracemalloc:
+            tracemalloc.stop()
+            self._started_tracemalloc = False
 
 
 class _NullSpan:
@@ -279,6 +326,7 @@ class NullTracer:
     """The disabled tracer: every operation is a reused no-op."""
 
     enabled = False
+    memory = False
 
     def span(self, name: str, **attributes: Any) -> _NullSpan:
         return _NULL_SPAN

@@ -311,6 +311,269 @@ class TestMetricsRegistry:
         assert registry_snapshot()["a"].counter("hits") == 0
 
 
+class TestMemorySpans:
+    """Tracer(memory=True): per-span tracemalloc peaks, off by default."""
+
+    def test_off_by_default_and_null_tracer_untouched(self):
+        import tracemalloc
+
+        tracer = Tracer()
+        assert not tracer.memory
+        with tracer.span("s") as span:
+            pass
+        tracer.close()
+        assert "mem_peak_kb" not in span.attributes
+        assert not tracemalloc.is_tracing()
+        assert not NULL_TRACER.memory
+
+    def test_peak_and_net_attributes(self):
+        tracer = Tracer(memory=True)
+        with tracer.span("alloc") as span:
+            blob = [0] * 100_000  # ~800KB, freed before span end
+            del blob
+        tracer.close()
+        assert span.attributes["mem_peak_kb"] > 500
+        assert span.attributes["mem_net_kb"] < span.attributes["mem_peak_kb"]
+
+    def test_child_peak_propagates_to_parent(self):
+        tracer = Tracer(memory=True)
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                blob = [0] * 200_000
+                del blob
+            with tracer.span("inner_quiet") as quiet:
+                pass
+        tracer.close()
+        assert inner.attributes["mem_peak_kb"] > 1000
+        # the quiet sibling's window started after the blob was freed
+        assert quiet.attributes["mem_peak_kb"] < inner.attributes["mem_peak_kb"]
+        # the parent's peak covers the child's allocation burst
+        assert outer.attributes["mem_peak_kb"] >= inner.attributes["mem_peak_kb"] - 1
+        assert outer.duration_us >= inner.duration_us
+
+    def test_close_stops_tracemalloc_it_started(self):
+        import tracemalloc
+
+        assert not tracemalloc.is_tracing()
+        tracer = Tracer(memory=True)
+        assert tracemalloc.is_tracing()
+        tracer.close()
+        assert not tracemalloc.is_tracing()
+
+    def test_respects_already_running_tracemalloc(self):
+        import tracemalloc
+
+        tracemalloc.start()
+        try:
+            tracer = Tracer(memory=True)
+            with tracer.span("s"):
+                pass
+            tracer.close()
+            # not ours to stop
+            assert tracemalloc.is_tracing()
+        finally:
+            tracemalloc.stop()
+
+    def test_memory_column_in_summary(self, tmp_path):
+        path = str(tmp_path / "mem.jsonl")
+        tracer = Tracer([JsonlExporter(path)], memory=True)
+        with tracer.span("hungry"):
+            blob = [0] * 100_000
+            del blob
+        tracer.close()
+        text = summarize_trace(load_trace(path))
+        assert "peak mem" in text
+        assert "KB" in text or "MB" in text
+
+    def test_no_memory_column_without_memory_spans(self, tmp_path):
+        path = str(tmp_path / "plain.jsonl")
+        tracer = Tracer([JsonlExporter(path)])
+        with tracer.span("s"):
+            pass
+        tracer.close()
+        assert "peak mem" not in summarize_trace(load_trace(path))
+
+
+class TestRobustSummaries:
+    """Orphan spans, truncated files, and the --sort orders."""
+
+    def _orphan_records(self):
+        from repro.obs.summary import SpanRecord
+
+        # span 7's parent (99) never made it into the file
+        return [
+            SpanRecord("root", 1, None, 0, 0.0, 100.0),
+            SpanRecord("kid", 2, 1, 1, 10.0, 40.0),
+            SpanRecord("orphan", 7, 99, 3, 20.0, 30.0),
+        ]
+
+    def test_orphan_spans_summarized_not_keyerror(self):
+        text = summarize_trace(self._orphan_records())
+        assert "orphan" in text
+        assert "1 orphan span (truncated trace?)" in text
+        # the root's self time only subtracts its real child
+        root_row = next(l for l in text.splitlines() if l.startswith("root"))
+        assert "0.000s" in root_row
+
+    def test_truncated_jsonl_tail_skipped(self, tmp_path):
+        path = str(tmp_path / "killed.jsonl")
+        tracer = Tracer([JsonlExporter(path)])
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        tracer.close()
+        # sever the final line mid-record, as a SIGKILL would
+        text = open(path).read().rstrip("\n")
+        open(path, "w").write(text[: text.rindex("\n") + 20])
+        records = load_trace(path)
+        assert [r.name for r in records] == ["inner"]
+        summary = summarize_trace(records)
+        assert "1 orphan span" in summary
+
+    def test_corrupt_middle_line_still_raises(self, tmp_path):
+        path = tmp_path / "corrupt.jsonl"
+        path.write_text('{"type": "span", bad\n{"type": "meta"}\n')
+        with pytest.raises(json.JSONDecodeError):
+            load_trace(str(path))
+
+    def test_sort_orders(self):
+        from repro.obs.summary import SpanRecord
+
+        records = [
+            SpanRecord("many_fast", 1, None, 0, 0.0, 10.0),
+            SpanRecord("many_fast", 2, None, 0, 20.0, 10.0),
+            SpanRecord("many_fast", 3, None, 0, 40.0, 10.0),
+            SpanRecord("one_slow", 4, None, 0, 60.0, 500.0),
+        ]
+
+        def first_span(text):
+            # line 0 header, 1 blank, 2 column names, 3 rule, 4 first row
+            return text.splitlines()[4].split()[0]
+
+        assert first_span(summarize_trace(records, sort="total")) == "one_slow"
+        assert first_span(summarize_trace(records, sort="self")) == "one_slow"
+        assert first_span(summarize_trace(records, sort="count")) == "many_fast"
+
+    def test_invalid_sort_rejected(self):
+        with pytest.raises(ValueError, match="sort must be one of"):
+            summarize_trace(self._orphan_records(), sort="name")
+
+    def test_cli_sort_flag(self, tmp_path, capsys):
+        path = str(tmp_path / "t.jsonl")
+        tracer = Tracer([JsonlExporter(path)])
+        for _ in range(3):
+            with tracer.span("frequent"):
+                pass
+        with tracer.span("rare"):
+            pass
+        tracer.close()
+        assert main(["trace", "summarize", path, "--sort", "count"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[4].startswith("frequent")
+
+
+class TestParallelExportRoundTrip:
+    """Satellite: both exporter formats of a run containing adopted
+    parallel-worker spans re-import to identical per-span totals."""
+
+    def _traced_parallel_run(self, tmp_path):
+        from repro.bounds.enumeration import busy_beaver_search
+
+        jsonl_path = str(tmp_path / "par.jsonl")
+        chrome_path = str(tmp_path / "par.json")
+        tracer = Tracer([JsonlExporter(jsonl_path), ChromeTraceExporter(chrome_path)])
+        previous = set_tracer(tracer)
+        try:
+            busy_beaver_search(2, max_input=6, jobs=2, chunk_size=54)
+        finally:
+            set_tracer(previous)
+            tracer.close()
+        return load_trace(jsonl_path), load_trace(chrome_path)
+
+    @staticmethod
+    def _normalize(records):
+        """Fold int attrs into counters, mirroring the Chrome loader.
+
+        The Chrome ``args`` dict merges attributes and counters, so the
+        loader classifies every non-bool int there as a counter; the
+        JSONL format keeps them distinct.  Normalising both sides to
+        the merged view lets the formats be compared record-for-record.
+        """
+        from repro.obs.summary import SpanRecord
+
+        normalized = []
+        for r in records:
+            counters = dict(r.counters)
+            attributes = {}
+            for key, value in r.attributes.items():
+                if isinstance(value, int) and not isinstance(value, bool):
+                    counters[key] = counters.get(key, 0) + value
+                else:
+                    attributes[key] = value
+            normalized.append(
+                SpanRecord(
+                    r.name, r.span_id, r.parent_id, r.depth,
+                    r.start_us, r.dur_us, attributes, counters,
+                )
+            )
+        return normalized
+
+    @classmethod
+    def _totals(cls, records):
+        totals = {}
+        for record in cls._normalize(records):
+            entry = totals.setdefault(record.name, [0, 0.0, {}])
+            entry[0] += 1
+            entry[1] += record.dur_us
+            for key, value in record.counters.items():
+                entry[2][key] = entry[2].get(key, 0) + value
+        return {
+            name: (count, round(total, 1), counters)
+            for name, (count, total, counters) in totals.items()
+        }
+
+    def test_formats_agree_span_for_span(self, tmp_path):
+        jsonl_records, chrome_records = self._traced_parallel_run(tmp_path)
+        assert {r.name for r in jsonl_records} >= {
+            "parallel.pool",
+            "parallel.task",
+            "bounds.busy_beaver.chunk",
+        }
+        assert self._totals(jsonl_records) == self._totals(chrome_records)
+
+        # identical structure too: same (id, parent, depth) triples
+        def shape(records):
+            return sorted((r.span_id, r.parent_id, r.depth, r.name) for r in records)
+
+        assert shape(jsonl_records) == shape(chrome_records)
+
+    def test_summaries_identical_across_formats(self, tmp_path):
+        jsonl_records, chrome_records = self._traced_parallel_run(tmp_path)
+        for sort in ("total", "self", "count"):
+            assert summarize_trace(
+                self._normalize(jsonl_records), sort=sort
+            ) == summarize_trace(self._normalize(chrome_records), sort=sort)
+
+
+class TestProgressValidation:
+    def test_enable_progress_rejects_nonpositive_interval(self):
+        for interval in (0, -1.0):
+            with pytest.raises(ValueError, match="interval must be > 0"):
+                enable_progress(interval=interval)
+        assert not progress_enabled()
+
+    def test_cli_rejects_nonpositive_interval(self, capsys):
+        with pytest.raises(SystemExit):
+            main(
+                ["analyze", "binary:3", "--progress", "--progress-interval", "-2"]
+            )
+        assert "must be > 0" in capsys.readouterr().err
+
+    def test_cli_trace_memory_requires_trace(self, capsys):
+        with pytest.raises(SystemExit, match="requires --trace"):
+            main(["analyze", "binary:3", "--trace-memory"])
+
+
 class TestCliRoundTrip:
     """End-to-end: --trace from a real analyze run, then summarize it."""
 
