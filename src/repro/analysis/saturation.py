@@ -30,6 +30,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Hashable, List, Optional, Set, Tuple
 
+from ..cache.decorator import cached_analysis
+from ..cache.fingerprint import state_name_map
 from ..core.errors import ProtocolError, SearchBudgetExceeded
 from ..core.multiset import Multiset
 from ..core.protocol import PopulationProtocol, Transition
@@ -132,6 +134,49 @@ def expanding_transition(
     return None
 
 
+def _sat_params(arguments):
+    return {}
+
+
+def _sat_encode(result: SaturationResult, protocol: PopulationProtocol):
+    return {
+        "input_size": result.input_size,
+        "rounds": result.rounds,
+        "steps": [
+            None if t is None else [str(t.p), str(t.q), str(t.p2), str(t.q2)]
+            for t in result.sequence.steps
+        ],
+        "configuration": {str(q): c for q, c in result.configuration.items()},
+    }
+
+
+def _sat_decode(payload, protocol: PopulationProtocol) -> SaturationResult:
+    # The result references states of the coverable restriction, which
+    # is a subset of the original protocol's states.
+    names = state_name_map(protocol)
+    steps = tuple(
+        None
+        if item is None
+        else Transition(names[item[0]], names[item[1]], names[item[2]], names[item[3]])
+        for item in payload["steps"]
+    )
+    configuration = Multiset(
+        {names[q]: int(c) for q, c in payload["configuration"].items()}
+    )
+    return SaturationResult(
+        input_size=int(payload["input_size"]),
+        sequence=TripledSequence(steps),
+        configuration=configuration,
+        rounds=int(payload["rounds"]),
+    )
+
+
+@cached_analysis(
+    "saturation.sequence",
+    params=_sat_params,
+    encode=_sat_encode,
+    decode=_sat_decode,
+)
 def saturation_sequence(protocol: PopulationProtocol) -> SaturationResult:
     """Run the constructive proof of Lemma 5.4.
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
+from ..cache.decorator import cached_analysis
 from ..core.multiset import Multiset
 from ..core.protocol import IndexedProtocol, PopulationProtocol
 from ..obs import get_tracer
@@ -119,6 +120,48 @@ class StableSlice:
         )
 
 
+def _slice_params(arguments):
+    return {
+        "size": int(arguments["size"]),
+        "node_budget": int(arguments["node_budget"]),
+    }
+
+
+def _slice_encode(result: StableSlice, protocol: PopulationProtocol):
+    dense = lambda configs: [list(c) for c in sorted(configs)]
+    return {
+        "size": result.size,
+        "stable0": dense(result.stable0),
+        "stable1": dense(result.stable1),
+        "all": dense(result.all_configs),
+    }
+
+
+def _slice_decode(payload, protocol: PopulationProtocol) -> StableSlice:
+    indexed = protocol.indexed()
+
+    def configs(rows):
+        decoded = frozenset(tuple(int(c) for c in row) for row in rows)
+        for config in decoded:
+            if len(config) != indexed.n:
+                raise ValueError("configuration width does not match the protocol")
+        return decoded
+
+    return StableSlice(
+        indexed=indexed,
+        size=int(payload["size"]),
+        stable0=configs(payload["stable0"]),
+        stable1=configs(payload["stable1"]),
+        all_configs=configs(payload["all"]),
+    )
+
+
+@cached_analysis(
+    "stable.slice",
+    params=_slice_params,
+    encode=_slice_encode,
+    decode=_slice_decode,
+)
 def stable_slice(
     protocol: PopulationProtocol,
     size: int,
@@ -129,6 +172,7 @@ def stable_slice(
     One full-slice reachability graph and two backward closures: the
     non-b-stable configurations are exactly those that can reach a
     configuration populating some state with output ``1 - b``.
+    Memoised through :mod:`repro.cache` when the active store is on.
     """
     indexed = protocol.indexed()
     with get_tracer().span(

@@ -28,6 +28,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+from ..cache.decorator import cached_analysis
+from ..cache.fingerprint import state_name_map
 from ..core.errors import CertificateError, ReproError, SearchBudgetExceeded
 from ..core.multiset import Multiset
 from ..core.protocol import PopulationProtocol, Transition
@@ -164,6 +166,111 @@ def build_stable_sequence(
     )
 
 
+# -- cache codecs ------------------------------------------------------
+#
+# Certificates serialise by state *names* (payloads never embed live
+# protocol objects); decoding rebuilds them against the caller's
+# protocol — for Section 5, against its coverable restriction, which
+# is what the fresh pipeline returns certificates over.
+
+
+def _names_of_transitions(transitions: Sequence[Transition]) -> List[List[str]]:
+    return [[str(t.p), str(t.q), str(t.p2), str(t.q2)] for t in transitions]
+
+
+def _transitions_from_names(rows, names) -> Tuple[Transition, ...]:
+    return tuple(Transition(names[a], names[b], names[c], names[d]) for a, b, c, d in rows)
+
+
+def _multiset_to_names(multiset: Multiset) -> Dict[str, int]:
+    return {str(q): c for q, c in multiset.items()}
+
+
+def _multiset_from_names(payload, names) -> Multiset:
+    return Multiset({names[q]: int(c) for q, c in payload.items()})
+
+
+def _s4_params(arguments):
+    return {
+        "max_length": int(arguments["max_length"]),
+        "node_budget": int(arguments["node_budget"]),
+    }
+
+
+def _s4_encode(certificate: PumpingCertificate, protocol: PopulationProtocol):
+    return {
+        "a": certificate.a,
+        "b": certificate.b,
+        "B": _multiset_to_names(certificate.B),
+        "S": sorted(str(q) for q in certificate.S),
+        "path_to_stable": _names_of_transitions(certificate.path_to_stable),
+        "pump_path": _names_of_transitions(certificate.pump_path),
+    }
+
+
+def _s4_decode(payload, protocol: PopulationProtocol) -> PumpingCertificate:
+    names = state_name_map(protocol)
+    return PumpingCertificate(
+        protocol=protocol,
+        a=int(payload["a"]),
+        b=int(payload["b"]),
+        B=_multiset_from_names(payload["B"], names),
+        S=frozenset(names[q] for q in payload["S"]),
+        path_to_stable=_transitions_from_names(payload["path_to_stable"], names),
+        pump_path=_transitions_from_names(payload["pump_path"], names),
+    )
+
+
+def _s5_params(arguments):
+    return {
+        "max_input": int(arguments["max_input"]),
+        "cap": int(arguments["cap"]),
+        "node_budget": int(arguments["node_budget"]),
+        "frontier_budget": int(arguments["frontier_budget"]),
+    }
+
+
+def _s5_encode(certificate: SaturationCertificate, protocol: PopulationProtocol):
+    return {
+        "a": certificate.a,
+        "b": certificate.b,
+        "B": _multiset_to_names(certificate.B),
+        "S": sorted(str(q) for q in certificate.S),
+        "path_to_saturated": _names_of_transitions(certificate.path_to_saturated),
+        "path_to_stable": _names_of_transitions(certificate.path_to_stable),
+        "pi": [
+            [c, str(t.p), str(t.q), str(t.p2), str(t.q2)]
+            for t, c in sorted(certificate.pi.items(), key=lambda item: str(item[0]))
+        ],
+    }
+
+
+def _s5_decode(payload, protocol: PopulationProtocol) -> SaturationCertificate:
+    restricted = protocol.restricted_to_coverable()
+    names = state_name_map(restricted)
+    return SaturationCertificate(
+        protocol=restricted,
+        a=int(payload["a"]),
+        b=int(payload["b"]),
+        B=_multiset_from_names(payload["B"], names),
+        S=frozenset(names[q] for q in payload["S"]),
+        path_to_saturated=_transitions_from_names(payload["path_to_saturated"], names),
+        path_to_stable=_transitions_from_names(payload["path_to_stable"], names),
+        pi=Multiset(
+            {
+                Transition(names[p], names[q], names[p2], names[q2]): int(c)
+                for c, p, q, p2, q2 in payload["pi"]
+            }
+        ),
+    )
+
+
+@cached_analysis(
+    "pipeline.section4",
+    params=_s4_params,
+    encode=_s4_encode,
+    decode=_s4_decode,
+)
 def section4_certificate(
     protocol: PopulationProtocol,
     max_length: int = 30,
@@ -218,6 +325,12 @@ def section4_certificate(
     return None
 
 
+@cached_analysis(
+    "pipeline.section5",
+    params=_s5_params,
+    encode=_s5_encode,
+    decode=_s5_decode,
+)
 def section5_certificate(
     protocol: PopulationProtocol,
     max_input: int = 16,

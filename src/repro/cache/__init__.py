@@ -1,0 +1,64 @@
+"""Content-addressed memoisation of the expensive analyses.
+
+Protocols are immutable values and every analysis here is a pure
+function of the protocol plus numeric parameters, so results are
+cached by *content address*: a SHA-256 fingerprint of the protocol's
+renaming/reordering-invariant normal form, combined with a digest of
+its concrete presentation and the call parameters.  See the three
+submodules:
+
+* :mod:`repro.cache.fingerprint` — the normal form and both digests;
+* :mod:`repro.cache.store` — the two-tier (in-process LRU + on-disk
+  JSON) store, atomic writes, corruption recovery, and the
+  process-wide active-store plumbing (``REPRO_NO_CACHE`` /
+  ``REPRO_CACHE_DIR``);
+* :mod:`repro.cache.decorator` — ``@cached_analysis``, wired into
+  Karp–Miller coverability, the Pottier completion, the Lemma 5.4
+  saturation sequence, stable slices and both certificate pipelines.
+
+Surfaces: ``repro cache stats|clear|path`` and the global
+``--no-cache`` / ``--cache-dir`` CLI flags; hit/miss/evict counters
+flow into the ``cache`` metrics registry entry and ``cache.lookup``
+spans.
+"""
+
+from .decorator import cached_analysis, entry_key
+from .fingerprint import (
+    NORMAL_FORM_VERSION,
+    UncacheableProtocolError,
+    canonical_form,
+    presentation_digest,
+    protocol_fingerprint,
+    state_name_map,
+)
+from .store import (
+    CACHE_SCHEMA_VERSION,
+    MISS,
+    CacheStore,
+    active_store,
+    cache_disabled,
+    default_cache_dir,
+    reset_store_from_env,
+    set_store,
+    use_store,
+)
+
+__all__ = [
+    "cached_analysis",
+    "entry_key",
+    "NORMAL_FORM_VERSION",
+    "UncacheableProtocolError",
+    "canonical_form",
+    "presentation_digest",
+    "protocol_fingerprint",
+    "state_name_map",
+    "CACHE_SCHEMA_VERSION",
+    "MISS",
+    "CacheStore",
+    "active_store",
+    "cache_disabled",
+    "default_cache_dir",
+    "reset_store_from_env",
+    "set_store",
+    "use_store",
+]

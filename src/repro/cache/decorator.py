@@ -1,0 +1,170 @@
+"""``@cached_analysis`` — content-addressed memoisation for analyses.
+
+Wraps a pure analysis function whose first parameter is a
+:class:`~repro.core.protocol.PopulationProtocol`.  Each call site
+supplies three small codecs:
+
+* ``params(arguments)`` — the remaining call arguments (a dict of
+  parameter name to value, defaults applied) reduced to a
+  JSON-serialisable dict; everything that can change the result must
+  appear here (budgets included: a tree built under a larger node
+  budget is not the same object as one that raised under a smaller).
+* ``encode(result, protocol)`` — result to JSON-serialisable payload.
+* ``decode(payload, protocol)`` — payload back to a result object,
+  validating shape as it goes; *any* exception it raises is treated
+  as a corrupt/incompatible entry (counted, invalidated, recomputed),
+  because disk payloads are not trusted input.
+
+Cache discipline:
+
+* calls whose first argument is not a ``PopulationProtocol`` (the
+  analyses also accept pre-indexed views) bypass the cache entirely;
+* protocols that cannot be serialised unambiguously
+  (:class:`~repro.cache.fingerprint.UncacheableProtocolError`) are
+  computed without caching;
+* exceptions from the wrapped function propagate and cache nothing —
+  a ``SearchBudgetExceeded`` today must stay retryable tomorrow;
+* ``None`` results are cached (wrapped, so a cached "no certificate
+  exists" is distinguishable from a miss);
+* every lookup opens a ``cache.lookup`` span whose hit/miss counters
+  fold into the ``spans`` metrics entry, and mirrors into the
+  process-wide ``cache`` metrics registry — which the parallel
+  backend already merges from workers via its registry deltas.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+from typing import Any, Callable, Dict, Optional
+
+from ..core.protocol import PopulationProtocol
+from ..obs.metrics import get_metrics
+from ..obs.tracer import get_tracer
+from .fingerprint import (
+    UncacheableProtocolError,
+    _digest,
+    presentation_digest,
+    protocol_fingerprint,
+)
+from .store import MISS, active_store
+
+__all__ = ["cached_analysis", "entry_key"]
+
+ParamsFn = Callable[[Dict[str, Any]], Dict[str, Any]]
+EncodeFn = Callable[[Any, PopulationProtocol], Any]
+DecodeFn = Callable[[Any, PopulationProtocol], Any]
+
+
+def entry_key(analysis: str, fingerprint: str, presentation: str, params: Dict[str, Any]) -> str:
+    """The content address of one (protocol, analysis, parameters) call."""
+    return _digest(
+        "repro-cache-key",
+        {
+            "analysis": analysis,
+            "fingerprint": fingerprint,
+            "presentation": presentation,
+            "params": params,
+        },
+    )
+
+
+def cached_analysis(
+    name: str,
+    *,
+    params: ParamsFn,
+    encode: EncodeFn,
+    decode: DecodeFn,
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Decorator memoising an analysis through the active cache store."""
+
+    def wrap(fn: Callable[..., Any]) -> Callable[..., Any]:
+        signature = inspect.signature(fn)
+        first_param = next(iter(signature.parameters))
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            store = active_store()
+            protocol: Optional[Any] = args[0] if args else kwargs.get(first_param)
+            if store is None or not isinstance(protocol, PopulationProtocol):
+                return fn(*args, **kwargs)
+
+            metrics = get_metrics("cache")
+            try:
+                bound = signature.bind(*args, **kwargs)
+                bound.apply_defaults()
+                arguments = dict(bound.arguments)
+                arguments.pop(first_param)
+                fingerprint = protocol_fingerprint(protocol)
+                presentation = presentation_digest(protocol)
+                key = entry_key(name, fingerprint, presentation, params(arguments))
+            except UncacheableProtocolError:
+                metrics.add("uncacheable")
+                return fn(*args, **kwargs)
+
+            with get_tracer().span("cache.lookup", analysis=name) as span:
+                metrics.add("lookups")
+                result = store.get_object(key)
+                if result is not MISS:
+                    metrics.add("hits")
+                    metrics.add("memory_hits")
+                    span.add("hit")
+                    span.set(tier="memory")
+                    return _unwrap(result)
+                payload = store.get_payload(name, key)
+                if payload is not MISS:
+                    decoded = _decode_payload(payload, decode, protocol)
+                    if decoded is not MISS:
+                        metrics.add("hits")
+                        metrics.add("disk_hits")
+                        span.add("hit")
+                        span.set(tier="disk")
+                        store.put_object(key, decoded)
+                        return _unwrap(decoded)
+                    metrics.add("decode_errors")
+                    store.invalidate(name, key)
+                metrics.add("misses")
+                span.add("miss")
+
+            result = fn(*args, **kwargs)
+            wrapped = {"none": True} if result is None else {"none": False}
+            try:
+                payload = dict(wrapped)
+                if result is not None:
+                    payload["value"] = encode(result, protocol)
+            except UncacheableProtocolError:
+                metrics.add("uncacheable")
+                return result
+            if store.put_payload(name, key, fingerprint, payload):
+                metrics.add("stores")
+            stored = wrapped if result is None else {**wrapped, "object": result}
+            store.put_object(key, stored)
+            return _unwrap(stored)
+
+        return wrapper
+
+    return wrap
+
+
+def _decode_payload(payload: Any, decode: DecodeFn, protocol: PopulationProtocol) -> Any:
+    """Decode a disk payload into the memory-tier wrapper, MISS on any defect."""
+    try:
+        if not isinstance(payload, dict) or "none" not in payload:
+            raise ValueError("malformed cache payload")
+        if payload["none"]:
+            return {"none": True}
+        return {"none": False, "object": decode(payload["value"], protocol)}
+    except Exception:
+        return MISS
+
+
+def _unwrap(wrapped: Dict[str, Any]) -> Any:
+    if wrapped["none"]:
+        return None
+    result = wrapped["object"]
+    # List results (e.g. a Hilbert basis) are handed out as shallow
+    # copies so callers sorting or filtering in place cannot corrupt
+    # the memory tier.
+    if isinstance(result, list):
+        return list(result)
+    return result

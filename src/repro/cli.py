@@ -15,6 +15,10 @@ Usage (``python -m repro <command> ...``)::
     python -m repro certify binary:4 --section 4
     python -m repro dot binary:8
 
+    # analyses are memoised on disk; inspect or bypass the cache
+    python -m repro cache stats
+    python -m repro --no-cache analyze binary:4
+
 Protocol arguments are either a path to a JSON file produced by
 ``compile``/:func:`repro.io.dumps`, or a builtin spec:
 
@@ -34,6 +38,7 @@ from typing import Iterator, List, Optional
 
 from .analysis.verification import verify_protocol
 from .bounds.pipeline import section4_certificate, section5_certificate
+from .cache import CacheStore, active_store, use_store
 from .core.errors import ReproError
 from .core.multiset import Multiset
 from .core.parser import parse_predicate
@@ -42,6 +47,7 @@ from .io import dumps, loads, to_dot
 from .obs import (
     DEFAULT_BASELINE_PATH as _DEFAULT_BASELINE,
     Tracer,
+    get_metrics,
     disable_progress,
     enable_progress,
     exporter_for_path,
@@ -224,6 +230,60 @@ def _observability(args) -> Iterator[None]:
                 f"(inspect with `repro trace summarize {trace_path}`)",
                 file=sys.stderr,
             )
+
+
+# ----------------------------------------------------------------------
+# Analysis cache plumbing
+# ----------------------------------------------------------------------
+
+
+def _resolve_cache_store(args) -> Optional[CacheStore]:
+    """The store the whole command runs under (None = caching off)."""
+    if getattr(args, "no_cache", False):
+        return None
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir:
+        return CacheStore(cache_dir)
+    return active_store()
+
+
+@contextmanager
+def _caching(args) -> Iterator[None]:
+    """Activate the resolved store; report session hits/misses on exit.
+
+    The summary goes to stderr so ``--json`` stdout stays byte-identical
+    between cached and fresh runs.
+    """
+    store = _resolve_cache_store(args)
+    counters = get_metrics("cache").counters
+    before = dict(counters)
+    # Mirror the resolution into the environment so spawned workers
+    # (--jobs) resolve the same store; their hit/miss counters come
+    # back through the parallel backend's metrics-delta merge.
+    saved = {k: os.environ.get(k) for k in ("REPRO_NO_CACHE", "REPRO_CACHE_DIR")}
+    if store is None:
+        os.environ["REPRO_NO_CACHE"] = "1"
+    else:
+        os.environ.pop("REPRO_NO_CACHE", None)
+        os.environ["REPRO_CACHE_DIR"] = store.directory
+    try:
+        with use_store(store):
+            yield
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+    if store is None:
+        return
+    hits = counters.get("hits", 0) - before.get("hits", 0)
+    misses = counters.get("misses", 0) - before.get("misses", 0)
+    if hits or misses:
+        print(
+            f"cache: {hits} hits, {misses} misses ({store.directory})",
+            file=sys.stderr,
+        )
 
 
 # ----------------------------------------------------------------------
@@ -457,6 +517,47 @@ def _cmd_bb(args) -> int:
     return 0
 
 
+def _require_store(args) -> CacheStore:
+    """The store a ``repro cache ...`` command operates on."""
+    store = _resolve_cache_store(args)
+    if store is None:
+        raise SystemExit(
+            "error: caching is disabled (--no-cache or REPRO_NO_CACHE); "
+            "there is no store to inspect"
+        )
+    return store
+
+
+def _cmd_cache_stats(args) -> int:
+    stats = _require_store(args).stats()
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    print(f"directory: {stats['directory']}")
+    print(f"schema: v{stats['schema']}")
+    print(f"disk entries: {stats['disk_entries']} ({stats['disk_bytes']} bytes)")
+    for analysis, count in sorted(stats["by_analysis"].items()):
+        print(f"  {analysis}: {count}")
+    print(f"memory entries: {stats['memory_entries']} (limit {stats['memory_limit']})")
+    session = stats["session"]
+    if session:
+        rendered = ", ".join(f"{k}={v}" for k, v in sorted(session.items()))
+        print(f"session counters: {rendered}")
+    return 0
+
+
+def _cmd_cache_clear(args) -> int:
+    store = _require_store(args)
+    removed = store.clear()
+    print(f"cleared {removed} cached entries from {store.directory}")
+    return 0
+
+
+def _cmd_cache_path(args) -> int:
+    print(_require_store(args).directory)
+    return 0
+
+
 def _cmd_trace_summarize(args) -> int:
     try:
         records = load_trace(args.file)
@@ -550,6 +651,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Population protocols: build, verify, simulate, certify.",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the content-addressed analysis cache for this command "
+        "(equivalent to REPRO_NO_CACHE=1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="use DIR as the analysis cache instead of the default "
+        "(~/.cache/repro or REPRO_CACHE_DIR)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -647,6 +761,19 @@ def build_parser() -> argparse.ArgumentParser:
     ps.set_defaults(handler=_cmd_trace_summarize)
 
     p = sub.add_parser(
+        "cache",
+        help="inspect or clear the content-addressed analysis cache",
+    )
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+    pc = cache_sub.add_parser("stats", help="entry counts, sizes, session counters")
+    pc.add_argument("--json", action="store_true", help="emit machine-readable stats")
+    pc.set_defaults(handler=_cmd_cache_stats)
+    pc = cache_sub.add_parser("clear", help="remove every cached entry (all schemas)")
+    pc.set_defaults(handler=_cmd_cache_clear)
+    pc = cache_sub.add_parser("path", help="print the cache directory")
+    pc.set_defaults(handler=_cmd_cache_path)
+
+    p = sub.add_parser(
         "bench",
         help="the performance ledger: run benchmark suites, diff artifacts",
     )
@@ -742,7 +869,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        with _observability(args):
+        with _caching(args), _observability(args):
             return args.handler(args)
     except BrokenPipeError:
         # stdout went away (`repro trace summarize ... | head`): detach

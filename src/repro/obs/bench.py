@@ -314,6 +314,100 @@ def _pottier_basis_large() -> Dict[str, int]:
     return {"basis": len(basis)}
 
 
+# -- cache warm-vs-cold pairs (E15) ------------------------------------
+#
+# Each pair runs the identical analysis twice: once against a freshly
+# created store (every lookup misses, the full computation runs and the
+# entry is written), once against a per-process warm directory that the
+# ledger's unrecorded warm-up run populates (every lookup hits disk).
+# The memory tier is off (``memory_entries=0``) so "warm" measures the
+# decode path, not a dict lookup.  The cache-hit/miss deltas are part
+# of the work counts: a warm run that recomputes is a regression the
+# ledger's exact-work gate catches, not just a slow run.
+
+_WARM_DIRS: Dict[str, str] = {}
+
+
+def _warm_dir(name: str) -> str:
+    """A per-process cache directory kept warm across ledger passes."""
+    import atexit
+    import shutil
+    import tempfile
+
+    if name not in _WARM_DIRS:
+        path = tempfile.mkdtemp(prefix=f"repro-bench-{name}-")
+        atexit.register(shutil.rmtree, path, True)
+        _WARM_DIRS[name] = path
+    return _WARM_DIRS[name]
+
+
+def _with_store(directory: str, fn: Callable[[], Mapping[str, int]]) -> Dict[str, int]:
+    """Run ``fn`` under a disk-only store; record the hit/miss deltas."""
+    from ..cache.store import CacheStore, use_store
+    from .metrics import get_metrics
+
+    counters = get_metrics("cache").counters
+    before = dict(counters)
+    with use_store(CacheStore(directory, memory_entries=0)):
+        counts = dict(fn())
+    counts["cache_hits"] = counters.get("hits", 0) - before.get("hits", 0)
+    counts["cache_misses"] = counters.get("misses", 0) - before.get("misses", 0)
+    return counts
+
+
+def _cold_counts(fn: Callable[[], Mapping[str, int]]) -> Dict[str, int]:
+    """Run ``fn`` against a store that is created and discarded per run."""
+    import shutil
+    import tempfile
+
+    directory = tempfile.mkdtemp(prefix="repro-bench-cold-")
+    try:
+        return _with_store(directory, fn)
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+
+def _pottier_large_counts() -> Dict[str, int]:
+    from ..protocols import binary_threshold
+    from ..reachability import realisable_basis
+
+    return {"basis": len(realisable_basis(binary_threshold(10)))}
+
+
+@register_workload(
+    "cache.karp_miller_cold",
+    description="Karp–Miller at flat:7 against an empty analysis cache (E15)",
+)
+def _cache_km_cold() -> Dict[str, int]:
+    return _cold_counts(lambda: _karp_miller_counts(7, node_budget=200_000))
+
+
+@register_workload(
+    "cache.karp_miller_warm",
+    description="Karp–Miller at flat:7 served from the disk cache (E15)",
+)
+def _cache_km_warm() -> Dict[str, int]:
+    return _with_store(
+        _warm_dir("km"), lambda: _karp_miller_counts(7, node_budget=200_000)
+    )
+
+
+@register_workload(
+    "cache.pottier_cold",
+    description="Hilbert basis at binary:10 against an empty analysis cache (E15)",
+)
+def _cache_pottier_cold() -> Dict[str, int]:
+    return _cold_counts(_pottier_large_counts)
+
+
+@register_workload(
+    "cache.pottier_warm",
+    description="Hilbert basis at binary:10 served from the disk cache (E15)",
+)
+def _cache_pottier_warm() -> Dict[str, int]:
+    return _with_store(_warm_dir("pottier"), _pottier_large_counts)
+
+
 @register_workload(
     "simulate.ensemble",
     suites=(SUITE_FULL,),

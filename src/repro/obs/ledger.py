@@ -119,7 +119,25 @@ def _median_mad(samples: Sequence[float]) -> Dict[str, float]:
 def _measure_workload(
     workload: Workload, *, repeats: int, jobs: int, memory: bool
 ) -> Dict[str, Any]:
-    """The two-pass measurement protocol for one workload."""
+    """The two-pass measurement protocol for one workload.
+
+    Runs under ``cache_disabled()`` so the ambient analysis cache never
+    contaminates timings or work counts; the ``cache.*`` workloads
+    re-enable a store of their own inside the run, which nests cleanly.
+    """
+    # Imported here, not at module level: repro.cache imports the obs
+    # metrics registry, so the obs package must not import cache eagerly.
+    from ..cache.store import cache_disabled
+
+    with cache_disabled():
+        return _measure_workload_uncached(
+            workload, repeats=repeats, jobs=jobs, memory=memory
+        )
+
+
+def _measure_workload_uncached(
+    workload: Workload, *, repeats: int, jobs: int, memory: bool
+) -> Dict[str, Any]:
     # Warm-up (imports, caches) — never recorded.
     workload.run(jobs=jobs)
 

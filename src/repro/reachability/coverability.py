@@ -31,6 +31,7 @@ import math
 from collections import deque
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
+from ..cache.decorator import cached_analysis
 from ..core.errors import SearchBudgetExceeded
 from ..core.multiset import Multiset
 from ..core.protocol import IndexedProtocol, PopulationProtocol
@@ -109,9 +110,61 @@ def karp_miller(
     protocol *for all inputs at once*, which is how the leaderless
     analyses in this package use it.
 
+    Results are memoised through :mod:`repro.cache` (content-addressed
+    by protocol, roots and budget) when the active store is enabled;
+    pre-indexed first arguments bypass the cache.
+
     Raises :class:`SearchBudgetExceeded` when more than ``node_budget``
     tree nodes are created.
     """
+    # Materialise roots before the cached inner function keys on them
+    # (callers may pass generators).
+    return _karp_miller(protocol, [tuple(root) for root in roots], node_budget)
+
+
+def _km_encode_config(config: ExtendedConfig) -> List[Union[int, str]]:
+    return ["w" if c == OMEGA else int(c) for c in config]
+
+
+def _km_decode_config(row: Sequence[Union[int, str]]) -> ExtendedConfig:
+    return tuple(OMEGA if c == "w" else int(c) for c in row)
+
+
+def _km_params(arguments):
+    return {
+        "roots": [_km_encode_config(root) for root in arguments["roots"]],
+        "node_budget": int(arguments["node_budget"]),
+    }
+
+
+def _km_encode(tree: KarpMillerTree, protocol: PopulationProtocol):
+    return {
+        "limits": [_km_encode_config(c) for c in sorted(tree.limits)],
+        "nodes": [_km_encode_config(c) for c in sorted(tree.nodes)],
+    }
+
+
+def _km_decode(payload, protocol: PopulationProtocol) -> KarpMillerTree:
+    indexed = protocol.indexed()
+    limits = {_km_decode_config(row) for row in payload["limits"]}
+    nodes = {_km_decode_config(row) for row in payload["nodes"]}
+    for config in limits | nodes:
+        if len(config) != indexed.n:
+            raise ValueError("configuration width does not match the protocol")
+    return KarpMillerTree(indexed, limits, nodes)
+
+
+@cached_analysis(
+    "coverability.karp_miller",
+    params=_km_params,
+    encode=_km_encode,
+    decode=_km_decode,
+)
+def _karp_miller(
+    protocol: PopulationProtocol,
+    roots: List[ExtendedConfig],
+    node_budget: int = DEFAULT_NODE_BUDGET,
+) -> KarpMillerTree:
     indexed = protocol.indexed() if isinstance(protocol, PopulationProtocol) else protocol
     pres = [_transition_pre(indexed, k) for k in range(len(indexed.deltas))]
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Hashable, List, Optional, Sequence, Set, Tuple
 
+from ..cache.decorator import cached_analysis
 from ..core.errors import ProtocolError
 from ..core.multiset import Multiset
 from ..core.protocol import PopulationProtocol, Transition
@@ -161,6 +162,37 @@ class RealisableBasisElement:
         )
 
 
+def _basis_params(arguments):
+    return {"frontier_budget": int(arguments["frontier_budget"])}
+
+
+def _basis_encode(basis, protocol: PopulationProtocol):
+    # One dense count vector over the protocol's transition order per
+    # element; input_size and configuration are cheap recomputations.
+    return {
+        "solutions": [
+            [element.pi[t] for t in protocol.transitions] for element in basis
+        ]
+    }
+
+
+def _basis_decode(payload, protocol: PopulationProtocol):
+    transitions = protocol.transitions
+    basis = []
+    for counts in payload["solutions"]:
+        if len(counts) != len(transitions):
+            raise ValueError("solution width does not match the transition count")
+        pi = Multiset({t: int(c) for t, c in zip(transitions, counts) if c})
+        basis.append(RealisableBasisElement(protocol, pi))
+    return basis
+
+
+@cached_analysis(
+    "pottier.realisable_basis",
+    params=_basis_params,
+    encode=_basis_encode,
+    decode=_basis_decode,
+)
 def realisable_basis(
     protocol: PopulationProtocol,
     frontier_budget: int = 2_000_000,
@@ -173,6 +205,7 @@ def realisable_basis(
 
     Protocols whose state set is ``{x}`` only (no other states) have no
     constraints; the basis is then the unit multiset of each transition.
+    Memoised through :mod:`repro.cache` when the active store is on.
     """
     matrix, transitions, row_states = realisability_matrix(protocol)
     if not row_states:

@@ -26,6 +26,7 @@ __all__ = [
     "configurations",
     "inputs_for",
     "partitions",
+    "renamings",
     "instrumentation_snapshots",
 ]
 
@@ -111,6 +112,37 @@ def partitions(total: int, max_chunk: int = None):
             width = draw(st.integers(1, max(1, min(limit, total - cuts[-1]))))
             cuts.append(cuts[-1] + width)
         return [(cuts[i], cuts[i + 1]) for i in range(len(cuts) - 1)]
+
+    return build()
+
+
+def renamings(protocol: PopulationProtocol, fresh: bool = None):
+    """A strategy generating state renamings of ``protocol``.
+
+    Every drawn value is a dict mapping *each* state to a distinct
+    target, suitable for :meth:`PopulationProtocol.renamed`.  Two
+    flavours are drawn (or forced via ``fresh``):
+
+    * ``fresh=True`` — targets are brand-new names ``r0, r1, ...``
+      assigned in a shuffled order, so the renamed protocol shares no
+      state names with the original;
+    * ``fresh=False`` — targets are a permutation of the existing
+      state names, so the renamed protocol lives on the same state set.
+
+    Used by the cache fingerprint, symmetry and minimisation suites:
+    any analysis claiming renaming-invariance should survive both.
+    """
+    import hypothesis.strategies as st
+
+    states = list(protocol.states)
+
+    @st.composite
+    def build(draw):
+        use_fresh = draw(st.booleans()) if fresh is None else fresh
+        shuffled = draw(st.permutations(states))
+        if use_fresh:
+            return {state: f"r{i}" for i, state in enumerate(shuffled)}
+        return dict(zip(states, shuffled))
 
     return build()
 

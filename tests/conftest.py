@@ -2,6 +2,14 @@
 
 from __future__ import annotations
 
+import os
+
+# The analysis cache must never leak a developer's ~/.cache/repro into
+# test results: the suite runs cache-free unless a test opts in with an
+# explicit store (see the ``cache_store`` fixture).  Set before any
+# repro import so the lazily-initialised active store sees it.
+os.environ["REPRO_NO_CACHE"] = "1"
+
 import pytest
 from hypothesis import HealthCheck, settings
 
@@ -12,6 +20,9 @@ from repro import (
     majority_protocol,
     modulo_protocol,
 )
+from repro.cache import CacheStore, reset_store_from_env, use_store
+
+reset_store_from_env()
 
 def pytest_configure(config):
     # Registered in pyproject.toml too; kept here so ad-hoc invocations
@@ -31,6 +42,14 @@ settings.register_profile(
     suppress_health_check=[HealthCheck.too_slow],
 )
 settings.load_profile("repro")
+
+
+@pytest.fixture
+def cache_store(tmp_path):
+    """An isolated active cache store rooted in this test's tmp dir."""
+    store = CacheStore(str(tmp_path / "cache"))
+    with use_store(store):
+        yield store
 
 
 @pytest.fixture

@@ -36,6 +36,24 @@ class TestIsomorphism:
         with pytest.raises(ValueError, match="too many"):
             canonical_key(flat_threshold(9))
 
+    def test_isomorphic_to_any_generated_renaming(self):
+        """Property: every renaming drawn by the shared strategy is an
+        isomorphism witness (same generator the cache fingerprint and
+        minimisation suites use)."""
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        from repro.testing import protocols, renamings
+
+        @settings(max_examples=40, deadline=None)
+        @given(st.data())
+        def check(data):
+            protocol = data.draw(protocols())
+            mapping = data.draw(renamings(protocol))
+            assert are_isomorphic(protocol, protocol.renamed(mapping))
+
+        check()
+
     def test_enumeration_dedup_rate(self):
         """At n = 2 a substantial fraction of the raw enumeration is
         redundant up to isomorphism — the point of canonical keys."""

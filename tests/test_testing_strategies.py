@@ -15,6 +15,7 @@ from repro.testing import (
     instrumentation_snapshots,
     partitions,
     protocols,
+    renamings,
 )
 
 
@@ -99,6 +100,39 @@ class TestPartitionsStrategy:
     def test_negative_total_rejected(self):
         with pytest.raises(ValueError):
             partitions(-1)
+
+
+class TestRenamingsStrategy:
+    @settings(max_examples=30)
+    @given(st.data())
+    def test_maps_every_state_injectively(self, data):
+        protocol = data.draw(protocols())
+        mapping = data.draw(renamings(protocol))
+        assert set(mapping) == set(protocol.states)
+        assert len(set(mapping.values())) == len(mapping)
+
+    @settings(max_examples=30)
+    @given(st.data())
+    def test_fresh_targets_disjoint_from_states(self, data):
+        protocol = data.draw(protocols())
+        mapping = data.draw(renamings(protocol, fresh=True))
+        assert not set(mapping.values()) & set(protocol.states)
+
+    @settings(max_examples=30)
+    @given(st.data())
+    def test_permutation_targets_are_the_state_set(self, data):
+        protocol = data.draw(protocols())
+        mapping = data.draw(renamings(protocol, fresh=False))
+        assert set(mapping.values()) == set(protocol.states)
+
+    @settings(max_examples=30)
+    @given(st.data())
+    def test_renamed_protocol_is_valid(self, data):
+        protocol = data.draw(protocols())
+        mapping = data.draw(renamings(protocol))
+        renamed = protocol.renamed(mapping)
+        assert renamed.num_states == protocol.num_states
+        assert renamed.num_transitions == protocol.num_transitions
 
 
 class TestInstrumentationSnapshotsStrategy:
