@@ -328,8 +328,15 @@ def _cmd_verify(args) -> int:
 def _cmd_simulate(args) -> int:
     protocol = resolve_protocol(args.protocol)
     inputs = _parse_input(args.input)
+    if args.max_steps < 1:
+        raise SystemExit(f"error: --max-steps must be >= 1, got {args.max_steps}")
     if args.trials is not None:
         return _simulate_batch(args, protocol, inputs)
+    if args.engine != "count":
+        raise SystemExit(
+            f"error: --engine {args.engine} needs --trials (the vector engine "
+            "steps a whole ensemble at once)"
+        )
     scheduler = CountScheduler(protocol, seed=args.seed)
     result = scheduler.run(inputs, max_steps=args.max_steps)
     verdict = protocol.output_of(result.configuration)
@@ -378,10 +385,12 @@ def _simulate_batch(args, protocol: PopulationProtocol, inputs: Multiset) -> int
         max_parallel_time=args.max_steps / max(1, population),
         seed=root_seed,
         jobs=args.jobs,
+        engine=args.engine,
     )
     if args.json:
         payload = {
             "protocol": protocol.name,
+            "engine": args.engine,
             "seed": root_seed,
             "jobs": resolve_jobs(args.jobs),
             "trials": args.trials,
@@ -691,6 +700,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trials", type=int, default=None, metavar="N",
                    help="run a seeded N-run ensemble instead of a single run "
                    "(root seed defaults to 0 when --seed is omitted)")
+    p.add_argument("--engine", choices=("count", "vector"), default="count",
+                   help="ensemble engine: 'count' steps each trial exactly, "
+                   "'vector' advances the whole trial batch at once with "
+                   "numpy (tau-leap; much faster at large populations; "
+                   "requires --trials, runs in-process so --jobs is ignored)")
     p.add_argument("--json", action="store_true",
                    help="emit a machine-readable result (seed + instrumentation included)")
     _add_jobs_flag(p)

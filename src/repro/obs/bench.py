@@ -172,6 +172,67 @@ def _simulate_batch() -> Dict[str, int]:
     return {"interactions": done}
 
 
+@register_workload(
+    "simulate.vector_cold",
+    description="vector ensemble engine, 16 trials to consensus (E16)",
+)
+def _simulate_vector_cold() -> Dict[str, int]:
+    from ..protocols import binary_threshold
+    from ..simulation import VectorEnsembleScheduler
+
+    scheduler = VectorEnsembleScheduler(binary_threshold(8), trials=16, seed=0)
+    result = scheduler.run({"x": 400}, max_parallel_time=500)
+    return {
+        "trials": result.trials,
+        "converged": int(result.converged.sum()),
+        "interactions": int(result.interactions.sum()),
+    }
+
+
+def _large_ensemble_counts(engine: str) -> Dict[str, int]:
+    """Shared instance for the vector-vs-scalar speedup pair (E16).
+
+    64 trials at ``n = 10^6`` under a deliberately small time budget
+    (2000 interactions per trial): neither engine converges, so the
+    work count is exactly ``64 * 2000`` interactions for both, and the
+    median timings are directly comparable.
+    """
+    from ..protocols import binary_threshold
+    from ..simulation.ensembles import run_ensemble
+
+    result = run_ensemble(
+        binary_threshold(8),
+        1_000_000,
+        trials=64,
+        max_parallel_time=0.002,
+        seed=0,
+        engine=engine,
+    )
+    return {
+        "trials": result.trials,
+        "converged": result.converged,
+        "interactions": result.instrumentation.counter("interactions")
+        if result.instrumentation is not None
+        else 0,
+    }
+
+
+@register_workload(
+    "simulate.vector_large",
+    description="vector ensemble engine, 64 trials at n=10^6 (E16 speedup pair)",
+)
+def _simulate_vector_large() -> Dict[str, int]:
+    return _large_ensemble_counts("vector")
+
+
+@register_workload(
+    "simulate.scalar_large",
+    description="count-engine ensemble, 64 trials at n=10^6 (E16 speedup pair)",
+)
+def _simulate_scalar_large() -> Dict[str, int]:
+    return _large_ensemble_counts("count")
+
+
 def _karp_miller_counts(eta: int, node_budget: int) -> Dict[str, int]:
     """Shared driver: an all-inputs-at-once tree over ``flat:eta``.
 

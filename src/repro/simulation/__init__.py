@@ -10,9 +10,10 @@ from .conformance import (
     check_conformance,
     chi_squared_sf,
 )
-from .ensembles import EnsembleResult, run_ensemble
+from .ensembles import ENSEMBLE_ENGINES, EnsembleResult, run_ensemble
 from .convergence import ConvergenceStats, convergence_scaling, fit_nlogn, measure_convergence
 from .fast import BatchScheduler
+from .vectorized import VectorEnsembleScheduler, VectorRunResult
 from .faults import Fault, FaultyRunResult, corrupt, crash, run_with_faults
 from .instrumentation import Instrumentation, InstrumentationSnapshot
 from .scheduler import AgentListScheduler, CountScheduler, SimulationResult, StepOutcome
@@ -41,6 +42,9 @@ __all__ = [
     "FaultyRunResult",
     "EnsembleResult",
     "run_ensemble",
+    "ENSEMBLE_ENGINES",
+    "VectorEnsembleScheduler",
+    "VectorRunResult",
     "Instrumentation",
     "InstrumentationSnapshot",
     "ChiSquaredResult",

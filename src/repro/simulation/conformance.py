@@ -1,10 +1,13 @@
 """Scheduler conformance: cross-check every sampler against the semantics.
 
-The repo ships three samplers of the *same* stochastic semantics —
+The repo ships four samplers of the *same* stochastic semantics —
 :class:`~repro.simulation.scheduler.AgentListScheduler` (explicit
 agents), :class:`~repro.simulation.scheduler.CountScheduler` (exact
-count-based sampling) and :class:`~repro.simulation.fast.BatchScheduler`
-(tau-leaping) — plus a fault-injecting runner on top.  Every
+count-based sampling), :class:`~repro.simulation.fast.BatchScheduler`
+(tau-leaping) and
+:class:`~repro.simulation.vectorized.VectorEnsembleScheduler`
+(tau-leaping over a whole trials×states ensemble matrix) — plus a
+fault-injecting runner on top.  Every
 parallel-time claim reproduced from the paper (Section 2's semantics,
 the ``O(n log n)`` convergence of [6] measured in E9/E10) is only as
 trustworthy as these samplers, and every future fast backend must be
@@ -53,6 +56,7 @@ from ..parallel import TaskEnvelope, merge_snapshots, run_tasks
 from .fast import BatchScheduler
 from .instrumentation import Instrumentation, InstrumentationSnapshot
 from .scheduler import AgentListScheduler, CountScheduler
+from .vectorized import VectorEnsembleScheduler
 
 __all__ = [
     "ChiSquaredResult",
@@ -298,6 +302,48 @@ def _sample_batch_first_steps(scheduler: BatchScheduler, inputs, samples: int) -
     return deltas
 
 
+def _sample_vector_first_steps(
+    scheduler: VectorEnsembleScheduler, inputs, samples: int
+) -> Counter:
+    """Displacement frequencies of one-interaction rounds, one per trial.
+
+    The vector engine's natural sampling unit is a whole-ensemble
+    round, so ``samples`` i.i.d. first steps are exactly one
+    ``leap(ones)`` over a ``samples``-trial matrix — the same batched
+    code path production runs take.
+    """
+    import numpy as np
+
+    scheduler.reset(inputs)
+    before = scheduler.counts.copy()
+    scheduler.leap(np.ones(scheduler.trials, dtype=np.int64))
+    deltas: Counter = Counter()
+    for row in (scheduler.counts - before):
+        deltas[tuple(int(v) for v in row)] += 1
+    return deltas
+
+
+def _exact_pair_error(
+    pair_distribution: Tuple[Sequence[PairKey], Sequence[float], float],
+    analytic: Mapping[PairKey, float],
+) -> float:
+    """Max abs deviation of a scheduler's closed-form pair distribution.
+
+    Both the batch and the vector engines expose their sampling
+    distribution as ``(keys, probabilities, inert)``; a conforming
+    engine must match the analytic pair law exactly (up to one or two
+    ulps of the final division), not just statistically.
+    """
+    keys, probabilities, inert = pair_distribution
+    error = 0.0
+    registered_mass = 0.0
+    for key, probability in zip(keys, probabilities):
+        expected = analytic.get(key, 0.0)
+        registered_mass += expected
+        error = max(error, abs(float(probability) - expected))
+    return max(error, abs(inert - (1.0 - registered_mass)))
+
+
 # ----------------------------------------------------------------------
 # Trajectory invariants
 # ----------------------------------------------------------------------
@@ -422,6 +468,62 @@ def _check_batch_trajectories(
     )
 
 
+def _check_vector_trajectories(
+    protocol: PopulationProtocol,
+    inputs,
+    seeds: Sequence[int],
+    steps: int,
+    leap_size: int,
+    trials: int = 4,
+) -> TrajectoryCheck:
+    """Invariant sweep of the vector engine: per trial, per round.
+
+    Population conservation, non-negative counts, and legal support
+    are asserted for *every trial row* after *every* leap round — the
+    per-trial analogue of the batch sweep.
+    """
+    import numpy as np
+
+    legal_states = set(protocol.states)
+    violations: List[str] = []
+    checked = 0
+    for seed in seeds:
+        scheduler = VectorEnsembleScheduler(protocol, trials=trials, seed=seed)
+        scheduler.reset(inputs)
+        population = scheduler.population
+        done = 0
+        while done < steps:
+            chunk = min(leap_size, steps - done)
+            advanced = scheduler.leap(np.full(trials, chunk, dtype=np.int64))
+            checked += int(advanced.sum())
+            where = f"vector seed={seed} interaction={done}"
+            if (advanced != chunk).any():
+                violations.append(f"{where}: leap({chunk}) under-delivered")
+            done += chunk
+            sums = scheduler.counts.sum(axis=1)
+            if (sums != population).any():
+                bad = int(np.nonzero(sums != population)[0][0])
+                violations.append(
+                    f"{where}: trial {bad} population changed "
+                    f"{population} -> {int(sums[bad])}"
+                )
+            if (scheduler.counts < 0).any():
+                violations.append(f"{where}: negative state count")
+            for trial in range(trials):
+                support = scheduler.configuration(trial).support()
+                if not support <= legal_states:
+                    violations.append(
+                        f"{where}: trial {trial} illegal states {support - legal_states}"
+                    )
+            if len(violations) >= 10:
+                break
+        if len(violations) >= 10:
+            break
+    return TrajectoryCheck(
+        scheduler="vector", seeds=tuple(seeds), steps_checked=checked, violations=tuple(violations)
+    )
+
+
 # ----------------------------------------------------------------------
 # Matched-seed differential runs (the two exact samplers)
 # ----------------------------------------------------------------------
@@ -519,6 +621,8 @@ class ConformanceReport:
     first_step: Tuple[ChiSquaredResult, ...]
     batch_distribution_error: float
     batch_distribution_ok: bool
+    vector_distribution_error: float
+    vector_distribution_ok: bool
     trajectories: Tuple[TrajectoryCheck, ...]
     matched_seed: MatchedSeedCheck
     seed: Optional[int] = None
@@ -530,6 +634,7 @@ class ConformanceReport:
         return (
             all(r.passed for r in self.first_step)
             and self.batch_distribution_ok
+            and self.vector_distribution_ok
             and all(t.passed for t in self.trajectories)
             and self.matched_seed.passed
         )
@@ -549,6 +654,8 @@ class ConformanceReport:
             "first_step": [r.to_dict() for r in self.first_step],
             "batch_distribution_error": self.batch_distribution_error,
             "batch_distribution_ok": self.batch_distribution_ok,
+            "vector_distribution_error": self.vector_distribution_error,
+            "vector_distribution_ok": self.vector_distribution_ok,
             "trajectories": [t.to_dict() for t in self.trajectories],
             "matched_seed": self.matched_seed.to_dict(),
             "instrumentation": (
@@ -584,6 +691,11 @@ class ConformanceReport:
             f"batch leap distribution vs analytic: max abs error "
             f"{self.batch_distribution_error:.2e} "
             f"({'ok' if self.batch_distribution_ok else 'FAIL'})"
+        )
+        lines.append(
+            f"vector leap distribution vs analytic: max abs error "
+            f"{self.vector_distribution_error:.2e} "
+            f"({'ok' if self.vector_distribution_ok else 'FAIL'})"
         )
         lines.append("")
         lines.append("trajectory invariant sweeps:")
@@ -680,19 +792,37 @@ def _conformance_task(task: TaskEnvelope):
             # in closed form — compare it against the analytic one
             # exactly, not just statistically.
             batch.reset(settings.inputs)
-            keys, probabilities, inert = batch.pair_distribution()
-            error = 0.0
-            registered_mass = 0.0
-            for key, probability in zip(keys, probabilities):
-                expected = analytic[0].get(key, 0.0)
-                registered_mass += expected
-                error = max(error, abs(float(probability) - expected))
-            error = max(error, abs(inert - (1.0 - registered_mass)))
+            error = _exact_pair_error(batch.pair_distribution(), analytic[0])
+            value = (chi, error, error < 1e-9)
+    elif kind == "first_step_vector":
+        with harness.phase("first_step"):
+            analytic = _analytic_first_step(settings)
+            vector = VectorEnsembleScheduler(
+                settings.protocol, trials=settings.samples, seed=settings.seed
+            )
+            vector_deltas = _sample_vector_first_steps(
+                vector, settings.inputs, settings.samples
+            )
+            harness.add("first_step_samples", settings.samples)
+            chi = _chi_squared_test(
+                "vector", "delta", vector_deltas, analytic[1], settings.samples,
+                settings.significance,
+            )
+            # Same closed-form check as the batch engine: the vector
+            # engine's per-trial pair distribution must match the
+            # analytic law exactly, not just statistically.
+            vector.reset(settings.inputs)
+            error = _exact_pair_error(vector.pair_distribution(), analytic[0])
             value = (chi, error, error < 1e-9)
     elif kind == "trajectory":
         with harness.phase("trajectories"):
             if argument == "batch":
                 value = _check_batch_trajectories(
+                    settings.protocol, settings.inputs, settings.trajectory_seeds,
+                    settings.trajectory_steps, leap_size=settings.leap_size,
+                )
+            elif argument == "vector":
+                value = _check_vector_trajectories(
                     settings.protocol, settings.inputs, settings.trajectory_seeds,
                     settings.trajectory_steps, leap_size=settings.leap_size,
                 )
@@ -768,9 +898,11 @@ def check_conformance(
         ("first_step_exact", "agent-list", settings),
         ("first_step_exact", "count", settings),
         ("first_step_batch", None, settings),
+        ("first_step_vector", None, settings),
         ("trajectory", "agent-list", settings),
         ("trajectory", "count", settings),
         ("trajectory", "batch", settings),
+        ("trajectory", "vector", settings),
     ] + [("matched", matched_seed, settings) for matched_seed in matched_seeds]
 
     harness = Instrumentation()
@@ -786,17 +918,19 @@ def check_conformance(
         values = [envelope.value[0] for envelope in envelopes]
         harness.merge(merge_snapshots(envelope.value[1] for envelope in envelopes))
 
-        agent_chi, count_chi, batch_value = values[0], values[1], values[2]
-        first_step = (*agent_chi, *count_chi, batch_value[0])
-        error, batch_ok = batch_value[1], batch_value[2]
-        trajectories = values[3:6]
+        agent_chi, count_chi = values[0], values[1]
+        batch_value, vector_value = values[2], values[3]
+        first_step = (*agent_chi, *count_chi, batch_value[0], vector_value[0])
+        batch_error, batch_ok = batch_value[1], batch_value[2]
+        vector_error, vector_ok = vector_value[1], vector_value[2]
+        trajectories = values[4:8]
         harness.add(
             "trajectory_interactions", sum(t.steps_checked for t in trajectories)
         )
 
         mismatches: List[str] = []
         converged = 0
-        for seed_mismatches, seed_converged in values[6:]:
+        for seed_mismatches, seed_converged in values[8:]:
             mismatches.extend(seed_mismatches)
             converged += 1 if seed_converged else 0
         matched = MatchedSeedCheck(
@@ -812,8 +946,10 @@ def check_conformance(
         samples=samples,
         significance=significance,
         first_step=first_step,
-        batch_distribution_error=error,
+        batch_distribution_error=batch_error,
         batch_distribution_ok=batch_ok,
+        vector_distribution_error=vector_error,
+        vector_distribution_ok=vector_ok,
         trajectories=tuple(trajectories),
         matched_seed=matched,
         seed=seed,

@@ -28,10 +28,19 @@ Gillespie tau-leaping.
 The approximation error affects only *timing statistics* (order
 ``epsilon``), never invariants: population size is conserved exactly
 and every intermediate configuration is a genuine configuration.
+
+Pair probabilities are computed in exact integer arithmetic and
+divided once at the end: above ``n ~ 10^8`` the products ``n(n-1)``
+exceed ``2^53``, and the earlier float64 pipeline (weights summed and
+subtracted from the total as floats) let the rounding error of the big
+products swamp small inert-pair masses — a silent distortion of the
+leap distribution's low-probability classes at exactly the population
+scales this scheduler exists for.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
@@ -97,16 +106,26 @@ class BatchScheduler:
 
     # ------------------------------------------------------------------
 
-    def _pair_weights(self) -> np.ndarray:
-        """Unnormalised ordered-pair weights per registered state pair."""
+    def _integer_pair_weights(self) -> Tuple[List[int], int, int]:
+        """Exact ordered-pair weights: ``(weights, total, inert)``.
+
+        All three are arbitrary-precision integers: for ``n`` above
+        ``~10^8`` the products ``n(n-1)`` exceed ``2^53``, so computing
+        the inert-pair mass as a float64 subtraction silently corrupts
+        the low-probability classes (the rounding error of the big
+        products dwarfs a small true inert mass).  Keeping the weights
+        integral until the single final division makes every class
+        probability correctly rounded.
+        """
         c = self.counts
-        weights = np.empty(len(self._pair_keys), dtype=np.float64)
-        for index, (i, j) in enumerate(self._pair_keys):
-            if i == j:
-                weights[index] = float(c[i]) * float(c[i] - 1)
-            else:
-                weights[index] = 2.0 * float(c[i]) * float(c[j])
-        return weights
+        n = int(c.sum())
+        weights = [
+            int(c[i]) * (int(c[i]) - 1) if i == j else 2 * int(c[i]) * int(c[j])
+            for i, j in self._pair_keys
+        ]
+        total = n * (n - 1)
+        inert = total - sum(weights)  # exact: pairs with no registered transition
+        return weights, total, inert
 
     def pair_distribution(self):
         """The one-step pair distribution the next leap will sample from.
@@ -123,26 +142,31 @@ class BatchScheduler:
             raise ProtocolError("population must have at least two agents")
         states = self.indexed.states
         keys = [_pair(states[i], states[j]) for i, j in self._pair_keys]
-        probabilities = self._pair_weights() / (float(n) * float(n - 1))
-        inert = max(0.0, 1.0 - float(probabilities.sum()))
+        weights, total, inert_mass = self._integer_pair_weights()
+        # Big-int true division is correctly rounded, so each class
+        # probability is exact to the last float64 bit even when the
+        # weights themselves exceed 2^53.
+        probabilities = np.array([w / total for w in weights], dtype=np.float64)
+        inert = inert_mass / total
         return keys, probabilities, inert
 
     def _exact_step(self) -> int:
-        """One exact interaction sampled from *enabled* pairs only.
+        """One exact interaction drawn over all ``n(n-1)`` ordered pairs.
 
-        Fallback for a rejected single-interaction leap: integer pair
-        weights make enabled-pair sampling exact, and one firing of an
-        enabled transition can never drive a count negative.  Inert
-        meetings (no registered transition) still consume the
-        interaction, preserving the pair distribution.
+        Fallback for a rejected single-interaction leap.  The draw
+        covers *every* ordered pair — registered transitions and inert
+        meetings alike, exactly the pair law — with integer weights, so
+        the step is exact; a pair that is sampled is by construction
+        available, and firing one of its registered transitions (or
+        nothing, for an inert meeting) can never drive a count
+        negative.  Recorded under the ``exact_steps`` instrumentation
+        counter so conformance sweeps can tell fallback steps from
+        genuine leaps.
         """
+        self.instrumentation.add("exact_steps")
         c = self.counts
-        n = int(c.sum())
-        weights = [
-            int(c[i]) * (int(c[i]) - 1) if i == j else 2 * int(c[i]) * int(c[j])
-            for i, j in self._pair_keys
-        ]
-        pick = int(self.rng.integers(n * (n - 1)))
+        weights, total, _ = self._integer_pair_weights()
+        pick = int(self.rng.integers(total))
         for index, weight in enumerate(weights):
             if pick < weight:
                 outcomes = self._pair_outcomes[index]
@@ -168,10 +192,11 @@ class BatchScheduler:
         if interactions <= 0:
             return 0
         self.instrumentation.add("leap_calls")
-        weights = self._pair_weights()
-        total_pairs = float(n) * float(n - 1)
-        inert = total_pairs - weights.sum()  # pairs with no registered transition
-        probabilities = np.append(weights, max(inert, 0.0)) / total_pairs
+        weights, total_pairs, inert = self._integer_pair_weights()
+        probabilities = np.array(
+            [w / total_pairs for w in weights] + [inert / total_pairs],
+            dtype=np.float64,
+        )
         probabilities = probabilities / probabilities.sum()
 
         sample = self.rng.multinomial(interactions, probabilities)
@@ -193,7 +218,7 @@ class BatchScheduler:
             if interactions == 1:
                 # A rejected single-interaction leap must still advance
                 # (returning 0 here would loop `run` forever); fall back
-                # to an exact step over enabled pairs.
+                # to one exact draw over the n(n-1) ordered pairs.
                 self.instrumentation.add("leap_fallbacks")
                 done = self._exact_step()
                 self.instrumentation.add("leap_interactions", done)
@@ -213,10 +238,17 @@ class BatchScheduler:
         stop_on_silent_consensus: bool = True,
     ) -> SimulationResult:
         """Simulate up to ``max_parallel_time`` units (interactions / n)."""
+        if not (math.isfinite(max_parallel_time) and max_parallel_time > 0):
+            raise ValueError(
+                f"max_parallel_time must be positive and finite, got {max_parallel_time}"
+            )
         self.reset(inputs)
         n = self.population
         leap_size = max(1, int(self.epsilon * n))
-        budget = int(max_parallel_time * n)
+        # Ceil, not truncate: any positive time budget must perform at
+        # least one interaction (int() turned a small budget on a small
+        # population into a silent zero-interaction "result").
+        budget = max(1, math.ceil(max_parallel_time * n))
         interactions = 0
         converged = False
         silent_checks = 0

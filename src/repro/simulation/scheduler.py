@@ -224,6 +224,8 @@ def _is_silent_consensus(protocol: PopulationProtocol, configuration: Multiset) 
 
 
 def _run_loop(scheduler, max_steps: int, stop_on_silent_consensus: bool) -> SimulationResult:
+    if max_steps < 1:
+        raise ValueError(f"max_steps must be >= 1, got {max_steps}")
     protocol = scheduler.protocol
     population = (
         scheduler.population if isinstance(scheduler, CountScheduler) else len(scheduler.agents)

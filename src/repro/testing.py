@@ -27,6 +27,7 @@ __all__ = [
     "inputs_for",
     "partitions",
     "renamings",
+    "count_matrices",
     "instrumentation_snapshots",
 ]
 
@@ -145,6 +146,37 @@ def renamings(protocol: PopulationProtocol, fresh: bool = None):
         return dict(zip(states, shuffled))
 
     return build()
+
+
+def count_matrices(
+    n_states: int,
+    max_trials: int = 6,
+    max_count: int = 30,
+    min_population: int = 0,
+):
+    """A strategy generating ``(trials, n_states)`` int64 count matrices.
+
+    The struct-of-arrays shape of the vectorised ensemble engine: one
+    row per trial, one column per protocol state, non-negative counts.
+    Row populations are *not* equalised — per-row predicates (silence,
+    consensus verdicts) must hold for arbitrary configurations, and the
+    degenerate rows (empty, single-agent, single-state) are exactly the
+    ones worth generating.  ``min_population`` filters rows whose total
+    falls below it, for properties that need inhabited configurations.
+    """
+    import hypothesis.strategies as st
+    import numpy as np
+
+    if n_states < 1:
+        raise ValueError(f"n_states must be >= 1, got {n_states}")
+
+    row = st.lists(
+        st.integers(0, max_count), min_size=n_states, max_size=n_states
+    ).filter(lambda r: sum(r) >= min_population)
+
+    return st.lists(row, min_size=1, max_size=max_trials).map(
+        lambda rows: np.array(rows, dtype=np.int64)
+    )
 
 
 def instrumentation_snapshots(max_entries: int = 4):

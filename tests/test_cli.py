@@ -125,4 +125,6 @@ class TestCommands:
         assert code == 0
         payload = json.loads(out)
         assert payload["ok"] is True
-        assert {r["scheduler"] for r in payload["first_step"]} == {"agent-list", "count", "batch"}
+        assert {r["scheduler"] for r in payload["first_step"]} == {
+            "agent-list", "count", "batch", "vector",
+        }

@@ -194,6 +194,7 @@ class TestBatchScheduler:
         snapshot = scheduler.instrumentation.snapshot()
         assert snapshot.counter("leap_rejections") == 1
         assert snapshot.counter("leap_fallbacks") == 1
+        assert snapshot.counter("exact_steps") == 1
 
     def test_run_result_carries_leap_counters(self, threshold4):
         result = BatchScheduler(threshold4, seed=1).run(500, max_parallel_time=5000)
