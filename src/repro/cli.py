@@ -46,15 +46,20 @@ from .core.protocol import PopulationProtocol
 from .io import dumps, loads, to_dot
 from .obs import (
     DEFAULT_BASELINE_PATH as _DEFAULT_BASELINE,
+    JsonlExporter,
+    SpanExporter,
     Tracer,
     get_metrics,
     disable_progress,
     enable_progress,
     exporter_for_path,
     load_trace,
+    set_progress_interval,
     set_tracer,
     summarize_trace,
 )
+from .obs import runs as runlog
+from .obs.report import render_report_for_run
 from .protocols import (
     binary_threshold,
     compile_predicate,
@@ -158,6 +163,43 @@ def _jobs_count(text: str) -> int:
     return value
 
 
+def _nonneg_int(text: str) -> int:
+    """argparse type: an integer >= 0 (``runs gc --max-runs 0`` is valid)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+# Output-file flags checked open-and-fail-fast before any work starts:
+# a multi-hour search must not die at the final write because the
+# artifact directory never existed.
+_ARTIFACT_FLAGS = (("trace", "--trace"), ("out", "--out"), ("output", "--output"))
+
+
+def _validate_artifact_paths(args) -> None:
+    for attr, flag in _ARTIFACT_FLAGS:
+        path = getattr(args, attr, None)
+        if not path:
+            continue
+        existed = os.path.exists(path)
+        try:
+            handle = open(path, "a")
+        except OSError as error:
+            raise SystemExit(f"error: cannot write {flag} file {path!r}: {error}")
+        handle.close()
+        if not existed:
+            # The probe must not leave debris when the command then
+            # fails before producing the artifact.
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+
+
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     """``--trace`` / ``--progress`` on the long-running commands."""
     parser.add_argument(
@@ -199,21 +241,97 @@ def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+class _RunEventExporter(SpanExporter):
+    """Mirrors tracer instant events (heartbeats) into ``events.jsonl``.
+
+    Spans are ignored here — they already land in the run-local
+    ``trace.jsonl`` through the standard JSONL exporter; this sink only
+    feeds the event stream ``repro runs tail`` follows.  Each heartbeat
+    reaches every sink exactly once: :class:`~repro.obs.ProgressMeter`
+    emits one tracer event per rate-limit window regardless of how many
+    exporters are attached.
+    """
+
+    def __init__(self, recorder: "runlog.RunRecorder"):
+        self._recorder = recorder
+
+    def export(self, span) -> None:
+        return None
+
+    def export_event(self, name, timestamp_us, attributes) -> None:
+        self._recorder.tracer_event(name, timestamp_us, dict(attributes))
+
+
+# Commands whose invocations are worth a registry entry: the
+# long-running analyses and searches, not the instant inspectors.
+_RECORDED_COMMANDS = frozenset({"analyze", "certify", "simulate", "conformance", "bb"})
+
+
+def _should_record(args) -> bool:
+    command = getattr(args, "command", None)
+    if command == "bench":
+        return getattr(args, "bench_command", None) in ("run", "baseline")
+    return command in _RECORDED_COMMANDS
+
+
+def _open_run(args, argv: Optional[List[str]]) -> Optional["runlog.RunRecorder"]:
+    """Open the run manifest, or ``None`` when recording is off.
+
+    Recording must never break the command: an unwritable state
+    directory degrades to a warning.
+    """
+    if not _should_record(args):
+        return None
+    root = runlog.runs_root()
+    if root is None:
+        return None
+    command = args.command
+    if command == "bench":
+        command = f"bench {args.bench_command}"
+    try:
+        recorder = runlog.RunRecorder.open(
+            root,
+            command=command,
+            argv=list(argv) if argv is not None else sys.argv[1:],
+            seed=getattr(args, "seed", None),
+            jobs=getattr(args, "jobs", None),
+        )
+    except OSError as error:
+        print(f"warning: run recording disabled: {error}", file=sys.stderr)
+        return None
+    runlog.set_current_run(recorder)
+    return recorder
+
+
 @contextmanager
-def _observability(args) -> Iterator[None]:
-    """Activate tracing/progress around a command, restoring on exit."""
+def _observability(args, recorder: Optional["runlog.RunRecorder"] = None) -> Iterator[None]:
+    """Activate tracing/progress around a command, restoring on exit.
+
+    A recorded run always gets a live tracer: spans flow into the
+    run-local ``trace.jsonl`` and heartbeats into ``events.jsonl``,
+    whether or not the user asked for ``--trace``/``--progress``.
+    """
     trace_path = getattr(args, "trace", None)
     trace_memory = getattr(args, "trace_memory", False)
     progress_on = getattr(args, "progress", False)
     if trace_memory and not trace_path:
         raise SystemExit("error: --trace-memory requires --trace FILE")
-    if not trace_path and not progress_on:
+    # Pace trace/run-mirrored heartbeats too, not just stderr ones.
+    set_progress_interval(getattr(args, "progress_interval", 1.0))
+    if not trace_path and not progress_on and recorder is None:
         yield
         return
-    tracer = Tracer(
-        [exporter_for_path(trace_path)] if trace_path else [],
-        memory=trace_memory,
-    )
+    exporters: List[SpanExporter] = []
+    if trace_path:
+        exporters.append(exporter_for_path(trace_path))
+    if recorder is not None:
+        exporters.append(
+            JsonlExporter(os.path.join(recorder.directory, runlog.TRACE_NAME))
+        )
+        exporters.append(_RunEventExporter(recorder))
+        if trace_path:
+            recorder.link_artifact("user_trace", trace_path)
+    tracer = Tracer(exporters, memory=trace_memory)
     previous = set_tracer(tracer)
     if progress_on:
         enable_progress(interval=getattr(args, "progress_interval", 1.0))
@@ -577,6 +695,191 @@ def _cmd_trace_summarize(args) -> int:
 
 
 # ----------------------------------------------------------------------
+# The run registry (`repro runs ...`)
+# ----------------------------------------------------------------------
+
+
+def _runs_registry_root(args) -> str:
+    """The registry the inspection command reads (``--runs-dir`` wins)."""
+    return runlog.resolve_root(getattr(args, "runs_dir", None))
+
+
+def _resolve_run(args) -> tuple:
+    """``(root, run_id)`` for a run spec, with clean CLI errors."""
+    root = _runs_registry_root(args)
+    try:
+        return root, runlog.resolve_run_id(root, args.run)
+    except runlog.RunsError as error:
+        raise SystemExit(f"error: {error}")
+
+
+def _fmt_started(manifest) -> str:
+    import time as _time
+
+    started = manifest.get("started_unix")
+    if not isinstance(started, (int, float)):
+        return "-"
+    return _time.strftime("%Y-%m-%d %H:%M:%S", _time.gmtime(started))
+
+
+def _cmd_runs_list(args) -> int:
+    from .fmt import render_table
+
+    root = _runs_registry_root(args)
+    manifests = runlog.list_runs(root)[: args.limit]
+    if args.json:
+        payload = []
+        for manifest in manifests:
+            status, stale = runlog.effective_status(manifest)
+            entry = dict(manifest)
+            entry["status"] = status
+            entry["stale"] = stale
+            payload.append(entry)
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    if not manifests:
+        print(f"no runs recorded under {root}")
+        return 0
+    rows = []
+    for manifest in manifests:
+        status, stale = runlog.effective_status(manifest)
+        duration = manifest.get("duration_s")
+        rows.append(
+            [
+                manifest["run_id"],
+                status + ("*" if stale else ""),
+                manifest.get("command", "?"),
+                _fmt_started(manifest),
+                f"{duration:.1f}s" if isinstance(duration, (int, float)) else "-",
+                manifest.get("jobs") or "-",
+            ]
+        )
+    print(render_table(["run", "status", "command", "started (UTC)", "duration", "jobs"], rows))
+    if any(row[1].endswith("*") for row in rows):
+        print("\n* inferred killed: recorded PID is gone but the run was never finalized")
+    return 0
+
+
+def _cmd_runs_show(args) -> int:
+    root, run_id = _resolve_run(args)
+    manifest = runlog.load_manifest(root, run_id)
+    status, stale = runlog.effective_status(manifest)
+    if stale:
+        # Persist the post-mortem verdict so every later reader agrees.
+        manifest = runlog.mark_stale_killed(root, manifest)
+        status = manifest["status"]
+    if args.json:
+        print(json.dumps(manifest, indent=2, sort_keys=True))
+        return 0
+    directory = runlog.run_directory(root, run_id)
+    events = runlog.iter_events(os.path.join(directory, runlog.EVENTS_NAME))
+    trace_path = os.path.join(directory, runlog.TRACE_NAME)
+    spans = load_trace(trace_path) if os.path.exists(trace_path) else []
+    known = {s.span_id for s in spans if s.span_id is not None}
+    orphans = sum(1 for s in spans if s.parent_id is not None and s.parent_id not in known)
+    print(f"run: {run_id}")
+    print(f"status: {status}" + (" (inferred: PID gone, never finalized)" if stale else ""))
+    print(f"command: repro {' '.join(manifest.get('argv', []))}")
+    print(f"started: {_fmt_started(manifest)} UTC  pid: {manifest.get('pid')}")
+    duration = manifest.get("duration_s")
+    print(f"duration: {duration}s" if duration is not None else "duration: still running")
+    if manifest.get("seed") is not None:
+        print(f"seed: {manifest['seed']}")
+    if manifest.get("jobs") is not None:
+        print(f"jobs: {manifest['jobs']}")
+    if manifest.get("exit_code") is not None:
+        print(f"exit code: {manifest['exit_code']}")
+    if manifest.get("signal"):
+        print(f"signal: {manifest['signal']}")
+    print(f"events: {len(events)}  spans: {len(spans)}"
+          + (f"  orphan spans: {orphans} (truncated trace)" if orphans else ""))
+    cache = manifest.get("cache") or {}
+    if cache:
+        rendered = ", ".join(f"{k}={v}" for k, v in sorted(cache.items()))
+        print(f"cache: {rendered}")
+    metrics = manifest.get("metrics") or {}
+    for registry, payload in sorted(metrics.items()):
+        for name, hist in sorted((payload.get("histograms") or {}).items()):
+            print(
+                f"  {registry}.{name}: n={hist.get('count')} "
+                f"p50={hist.get('p50', 0) / 1e3:.2f}ms "
+                f"p90={hist.get('p90', 0) / 1e3:.2f}ms "
+                f"p99={hist.get('p99', 0) / 1e3:.2f}ms"
+            )
+    for kind, path in sorted((manifest.get("artifacts") or {}).items()):
+        resolved = path if os.path.isabs(path) else os.path.join(directory, path)
+        print(f"artifact [{kind}]: {resolved}")
+    if manifest.get("error"):
+        print(f"\nerror:\n{manifest['error']}")
+    return 0
+
+
+def _render_event_line(event) -> str:
+    attrs = event.get("attrs") or {}
+    detail = " ".join(f"{key}={value}" for key, value in attrs.items())
+    stamp = event.get("wall_unix")
+    prefix = ""
+    if isinstance(stamp, (int, float)):
+        import time as _time
+
+        prefix = _time.strftime("%H:%M:%S", _time.gmtime(stamp)) + " "
+    return f"{prefix}{event.get('name', '?')}" + (f" {detail}" if detail else "")
+
+
+def _cmd_runs_tail(args) -> int:
+    root, run_id = _resolve_run(args)
+    manifest = runlog.load_manifest(root, run_id)
+    print(f"tailing run {run_id} ({manifest.get('command', '?')}, "
+          f"pid {manifest.get('pid')})", file=sys.stderr)
+    for event in runlog.follow_events(
+        root,
+        run_id,
+        follow=not args.no_follow,
+        interval=args.interval,
+        timeout=args.timeout,
+    ):
+        print(_render_event_line(event))
+    status, _ = runlog.effective_status(runlog.load_manifest(root, run_id))
+    print(f"run {run_id}: {status}", file=sys.stderr)
+    return 0
+
+
+def _cmd_runs_gc(args) -> int:
+    root = _runs_registry_root(args)
+    if args.max_runs is None and args.max_age_days is None and args.max_bytes is None:
+        raise SystemExit(
+            "error: give at least one retention policy "
+            "(--max-runs N, --max-age-days D, --max-bytes B)"
+        )
+    removed = runlog.gc_runs(
+        root,
+        max_runs=args.max_runs,
+        max_age_days=args.max_age_days,
+        max_bytes=args.max_bytes,
+        dry_run=args.dry_run,
+    )
+    verb = "would remove" if args.dry_run else "removed"
+    for manifest in removed:
+        print(f"{verb}: {manifest['run_id']} ({manifest.get('status')})")
+    kept = len(runlog.list_runs(root))
+    print(f"gc: {verb} {len(removed)} runs, {kept} kept ({root})")
+    return 0
+
+
+def _cmd_runs_report(args) -> int:
+    root, run_id = _resolve_run(args)
+    try:
+        document = render_report_for_run(root, run_id)
+    except runlog.RunsError as error:
+        raise SystemExit(f"error: {error}")
+    out = args.out or f"{run_id}.html"
+    with open(out, "w") as handle:
+        handle.write(document)
+    print(f"report: {out} ({os.path.getsize(out)} bytes, self-contained)")
+    return 0
+
+
+# ----------------------------------------------------------------------
 # The performance ledger (`repro bench ...`)
 # ----------------------------------------------------------------------
 
@@ -591,6 +894,8 @@ def _cmd_bench_run(args) -> int:
         memory=not args.no_memory,
     )
     ledger.write_artifact(args.out, artifact)
+    if runlog.current_run() is not None:
+        runlog.current_run().link_artifact("bench_out", args.out)
     workloads = artifact["workloads"]
     total = sum(entry["median_s"] for entry in workloads.values())
     print(
@@ -638,6 +943,8 @@ def _cmd_bench_baseline(args) -> int:
         args.suite, repeats=args.repeats, jobs=args.jobs, memory=not args.no_memory
     )
     ledger.write_artifact(out, artifact)
+    if runlog.current_run() is not None:
+        runlog.current_run().link_artifact("bench_out", out)
     print(f"baseline: {len(artifact['workloads'])} workloads ({args.suite} suite) -> {out}")
     print("commit this file so `repro bench compare` and CI can gate on it")
     return 0
@@ -788,6 +1095,64 @@ def build_parser() -> argparse.ArgumentParser:
     pc.set_defaults(handler=_cmd_cache_path)
 
     p = sub.add_parser(
+        "runs",
+        help="the flight recorder: list, tail, report and prune recorded runs",
+    )
+    runs_sub = p.add_subparsers(dest="runs_command", required=True)
+
+    def _add_runs_dir_flag(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument(
+            "--runs-dir",
+            metavar="DIR",
+            default=None,
+            help="registry root (default REPRO_RUNS_DIR or ~/.local/state/repro/runs)",
+        )
+
+    pr = runs_sub.add_parser("list", help="recorded runs, newest first")
+    pr.add_argument("--json", action="store_true", help="emit machine-readable manifests")
+    pr.add_argument("--limit", type=_positive_int, default=20, metavar="N",
+                    help="show at most N runs (default 20)")
+    _add_runs_dir_flag(pr)
+    pr.set_defaults(handler=_cmd_runs_list)
+
+    pr = runs_sub.add_parser("show", help="one run's manifest, metrics, artifacts")
+    pr.add_argument("run", nargs="?", default="latest",
+                    help="run id, unique prefix, or 'latest' (default)")
+    pr.add_argument("--json", action="store_true", help="emit the raw manifest")
+    _add_runs_dir_flag(pr)
+    pr.set_defaults(handler=_cmd_runs_show)
+
+    pr = runs_sub.add_parser("tail", help="follow a run's event stream live")
+    pr.add_argument("run", nargs="?", default="latest")
+    pr.add_argument("--interval", type=_positive_float, default=0.5, metavar="SECONDS",
+                    help="poll interval while following (default 0.5)")
+    pr.add_argument("--timeout", type=_positive_float, default=None, metavar="SECONDS",
+                    help="stop following after this long (default: until the run ends)")
+    pr.add_argument("--no-follow", action="store_true",
+                    help="print the events recorded so far and exit")
+    _add_runs_dir_flag(pr)
+    pr.set_defaults(handler=_cmd_runs_tail)
+
+    pr = runs_sub.add_parser("gc", help="prune old runs by count, age, or size")
+    pr.add_argument("--max-runs", type=_nonneg_int, default=None, metavar="N",
+                    help="keep at most N finished runs (0 = remove all)")
+    pr.add_argument("--max-age-days", type=_positive_float, default=None, metavar="D",
+                    help="remove runs started more than D days ago")
+    pr.add_argument("--max-bytes", type=_nonneg_int, default=None, metavar="B",
+                    help="drop oldest runs until the registry fits in B bytes")
+    pr.add_argument("--dry-run", action="store_true",
+                    help="report what would be removed without deleting")
+    _add_runs_dir_flag(pr)
+    pr.set_defaults(handler=_cmd_runs_gc)
+
+    pr = runs_sub.add_parser("report", help="render a self-contained HTML run report")
+    pr.add_argument("run", nargs="?", default="latest")
+    pr.add_argument("-o", "--out", default=None, metavar="FILE",
+                    help="output path (default <run_id>.html)")
+    _add_runs_dir_flag(pr)
+    pr.set_defaults(handler=_cmd_runs_report)
+
+    p = sub.add_parser(
         "bench",
         help="the performance ledger: run benchmark suites, diff artifacts",
     )
@@ -882,12 +1247,43 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    _validate_artifact_paths(args)
+    recorder = _open_run(args, argv)
     try:
-        with _caching(args), _observability(args):
-            return args.handler(args)
+        with _caching(args), _observability(args, recorder):
+            code = args.handler(args)
     except BrokenPipeError:
         # stdout went away (`repro trace summarize ... | head`): detach
         # quietly instead of tracing back.
         devnull = os.open(os.devnull, os.O_WRONLY)
         os.dup2(devnull, sys.stdout.fileno())
-        return 0
+        code = 0
+    except SystemExit as error:
+        if recorder is not None:
+            exit_code = error.code if isinstance(error.code, int) else 1
+            # A SIGTERM/SIGINT path already sealed the manifest as
+            # killed; finalize is idempotent, so this only catches
+            # genuine `sys.exit` aborts.
+            recorder.finalize(
+                "ok" if exit_code == 0 else "failed",
+                exit_code=exit_code,
+                error=None if exit_code == 0 else str(error.code),
+            )
+        raise
+    except KeyboardInterrupt:
+        if recorder is not None:
+            recorder.finalize("killed", exit_code=130, signal_name="SIGINT")
+        raise
+    except BaseException:
+        if recorder is not None:
+            import traceback
+
+            recorder.finalize("failed", exit_code=1, error=traceback.format_exc())
+        raise
+    if recorder is not None:
+        # Non-zero handler exits (a failed verification, a non-converged
+        # ensemble) completed the command; the exit code records the
+        # verdict, `failed` records that the outcome was not clean.
+        recorder.finalize("ok" if code == 0 else "failed", exit_code=code)
+        print(f"run recorded: {recorder.run_id}", file=sys.stderr)
+    return code

@@ -19,7 +19,11 @@ This package makes them observable from three angles:
   per-span table behind ``repro trace summarize``;
 * :mod:`repro.obs.bench` / :mod:`repro.obs.ledger` — the benchmark
   workload registry and the persistent performance ledger behind
-  ``repro bench run / compare / baseline``.
+  ``repro bench run / compare / baseline``;
+* :mod:`repro.obs.runs` / :mod:`repro.obs.report` — the flight
+  recorder: a persistent run registry every CLI invocation records
+  into (manifest, event stream, run-local trace; crash/kill capture)
+  and the static HTML report renderer behind ``repro runs``.
 """
 
 from .bench import (
@@ -48,6 +52,8 @@ from .ledger import (
     write_artifact,
 )
 from .metrics import (
+    Histogram,
+    HistogramSnapshot,
     Instrumentation,
     InstrumentationSnapshot,
     clear_registry,
@@ -60,6 +66,19 @@ from .progress import (
     enable_progress,
     progress,
     progress_enabled,
+    set_progress_interval,
+)
+from .report import render_run_report
+from .runs import (
+    RunRecorder,
+    RunsError,
+    current_run,
+    gc_runs,
+    list_runs,
+    load_manifest,
+    resolve_run_id,
+    runs_root,
+    set_current_run,
 )
 from .summary import SpanRecord, load_trace, summarize_trace
 from .tracer import (
@@ -89,8 +108,21 @@ __all__ = [
     "enable_progress",
     "disable_progress",
     "progress_enabled",
+    "set_progress_interval",
     "Instrumentation",
     "InstrumentationSnapshot",
+    "Histogram",
+    "HistogramSnapshot",
+    "RunRecorder",
+    "RunsError",
+    "current_run",
+    "set_current_run",
+    "runs_root",
+    "list_runs",
+    "load_manifest",
+    "resolve_run_id",
+    "gc_runs",
+    "render_run_report",
     "get_metrics",
     "registry_snapshot",
     "clear_registry",

@@ -335,6 +335,39 @@ def _verify() -> Dict[str, int]:
 
 
 @register_workload(
+    "runs.manifest_overhead",
+    description="run-registry open/finalize cycles in a tmp dir (E17 guard)",
+)
+def _runs_manifest_overhead() -> Dict[str, int]:
+    import shutil
+    import tempfile
+
+    from .runs import RunRecorder, list_runs
+
+    cycles = 20
+    root = tempfile.mkdtemp(prefix="repro-bench-runs-")
+    try:
+        for index in range(cycles):
+            recorder = RunRecorder.open(
+                root,
+                command="bench-workload",
+                argv=["bench-workload", str(index)],
+                seed=index,
+                jobs=1,
+                # The workload measures manifest I/O, not process-global
+                # signal plumbing (and must not displace the CLI's own
+                # handlers while a real `repro bench` is recording).
+                install_handlers=False,
+            )
+            recorder.event("heartbeat:bench", iterations=index)
+            recorder.finalize("ok", exit_code=0)
+        manifests = len(list_runs(root))
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    return {"cycles": cycles, "manifests": manifests}
+
+
+@register_workload(
     "obs.null_tracer",
     description="disabled-tracer span path, 200k iterations (E12 guard)",
 )

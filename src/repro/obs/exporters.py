@@ -45,37 +45,48 @@ def _clean(attributes: Dict[str, Any]) -> Dict[str, Any]:
 
 
 class JsonlExporter(SpanExporter):
-    """Append-only JSONL event log (one object per finished span/event)."""
+    """Append-only JSONL event log (one object per finished span/event).
+
+    Every line is flushed to the OS as it is written: a SIGKILLed or
+    crashed process leaves at most one truncated line at the tail, and
+    everything before it is complete, valid JSON — the crash-safety
+    contract ``repro trace summarize`` and the run registry's
+    post-mortem path rely on.
+    """
 
     def __init__(self, path: str):
         self.path = path
         self._handle = open(path, "w")
-        self._handle.write(
-            json.dumps({"type": "meta", "format": "repro-trace", "version": 1}) + "\n"
-        )
+        self._write({"type": "meta", "format": "repro-trace", "version": 1})
+
+    def _write(self, record: Dict[str, Any]) -> None:
+        self._handle.write(json.dumps(record) + "\n")
+        self._handle.flush()
 
     def export(self, span: Span) -> None:
-        record = {
-            "type": "span",
-            "name": span.name,
-            "id": span.span_id,
-            "parent": span.parent_id,
-            "depth": span.depth,
-            "start_us": span.start_us,
-            "dur_us": span.duration_us,
-            "attrs": _clean(span.attributes),
-            "counters": dict(span.counters),
-        }
-        self._handle.write(json.dumps(record) + "\n")
+        self._write(
+            {
+                "type": "span",
+                "name": span.name,
+                "id": span.span_id,
+                "parent": span.parent_id,
+                "depth": span.depth,
+                "start_us": span.start_us,
+                "dur_us": span.duration_us,
+                "attrs": _clean(span.attributes),
+                "counters": dict(span.counters),
+            }
+        )
 
     def export_event(self, name: str, timestamp_us: float, attributes: Dict[str, Any]) -> None:
-        record = {
-            "type": "event",
-            "name": name,
-            "ts_us": timestamp_us,
-            "attrs": _clean(attributes),
-        }
-        self._handle.write(json.dumps(record) + "\n")
+        self._write(
+            {
+                "type": "event",
+                "name": name,
+                "ts_us": timestamp_us,
+                "attrs": _clean(attributes),
+            }
+        )
 
     def close(self) -> None:
         self._handle.close()
@@ -89,10 +100,25 @@ class RecordingExporter(SpanExporter):
     parent re-emits them (ids remapped, timestamps re-based) so one
     trace file describes the whole fan-out.  The record shape is the
     JSONL span shape understood by :func:`repro.obs.summary.load_trace`.
+
+    Instant events (progress heartbeats) are buffered separately in
+    ``events`` — the per-worker event shard the run registry merges
+    into ``events.jsonl`` in task order.
     """
 
     def __init__(self) -> None:
         self.records: List[Dict[str, Any]] = []
+        self.events: List[Dict[str, Any]] = []
+
+    def export_event(self, name: str, timestamp_us: float, attributes: Dict[str, Any]) -> None:
+        self.events.append(
+            {
+                "type": "event",
+                "name": name,
+                "ts_us": timestamp_us,
+                "attrs": _clean(attributes),
+            }
+        )
 
     def export(self, span: Span) -> None:
         self.records.append(

@@ -33,13 +33,23 @@ __all__ = [
     "enable_progress",
     "disable_progress",
     "progress_enabled",
+    "set_progress_interval",
 ]
 
 StatsCallback = Callable[[], Dict[str, Any]]
 
 
 class ProgressMeter:
-    """Rate-limited heartbeat emitter for one named loop."""
+    """Rate-limited heartbeat emitter for one named loop.
+
+    ``emit_stderr=False`` keeps the stderr line off while still
+    mirroring each heartbeat into the active tracer — the configuration
+    a ``--trace``-only (or run-recorded) command uses, so trace files
+    and run event streams carry the frontier/rate trajectory without
+    any terminal noise.  Each rate-limited window emits exactly one
+    tracer event however many sinks are on: the stderr line and the
+    trace record come from the same ``_emit`` call, never two.
+    """
 
     def __init__(
         self,
@@ -49,11 +59,13 @@ class ProgressMeter:
         interval: float = 1.0,
         stride: int = 64,
         stream: Optional[TextIO] = None,
+        emit_stderr: bool = True,
     ):
         self.name = name
         self._stats = stats
         self._interval = interval
         self._stride = max(1, stride)
+        self._emit_stderr = emit_stderr
         self._stream = stream if stream is not None else sys.stderr
         self._count = 0
         self._since_check = 0
@@ -83,12 +95,13 @@ class ProgressMeter:
         window = now - self._last_emit
         rate = (self._count - self._last_count) / window if window > 0 else 0.0
         stats = self._stats() if self._stats is not None else {}
-        detail = " ".join(f"{key}={value}" for key, value in stats.items())
-        line = (
-            f"[{self.name}] {elapsed:.1f}s {self._count} iterations "
-            f"({rate:.0f}/s)" + (f" {detail}" if detail else "")
-        )
-        print(line, file=self._stream)
+        if self._emit_stderr:
+            detail = " ".join(f"{key}={value}" for key, value in stats.items())
+            line = (
+                f"[{self.name}] {elapsed:.1f}s {self._count} iterations "
+                f"({rate:.0f}/s)" + (f" {detail}" if detail else "")
+            )
+            print(line, file=self._stream)
         get_tracer().event(
             f"heartbeat:{self.name}",
             iterations=self._count,
@@ -147,15 +160,35 @@ def disable_progress() -> None:
     _STREAM = None
 
 
+def set_progress_interval(interval: float) -> None:
+    """Set the heartbeat interval without enabling stderr emission.
+
+    Used by the CLI so ``--progress-interval`` also paces the
+    trace-mirrored heartbeats of a ``--trace``-only command.
+    """
+    if not interval > 0:
+        raise ValueError(f"heartbeat interval must be > 0 seconds, got {interval}")
+    global _INTERVAL
+    _INTERVAL = interval
+
+
 def progress_enabled() -> bool:
     """Is heartbeat emission currently on?"""
     return _ENABLED
 
 
 def progress(name: str, stats: Optional[StatsCallback] = None, **kwargs):
-    """A meter for one loop — real when enabled, the shared no-op otherwise."""
-    if not _ENABLED:
+    """A meter for one loop — real when any heartbeat sink is on.
+
+    Stderr heartbeats need :func:`enable_progress` (``--progress``);
+    a live tracer alone (``--trace`` or a recorded run) also gets a
+    real meter, with stderr off, so heartbeat history lands in the
+    trace/event stream.  With neither sink active the shared no-op
+    meter keeps the disabled path at a bare method call.
+    """
+    if not _ENABLED and not get_tracer().enabled:
         return _NULL_METER
     kwargs.setdefault("stream", _STREAM)
     kwargs.setdefault("interval", _INTERVAL)
+    kwargs.setdefault("emit_stderr", _ENABLED)
     return ProgressMeter(name, stats, **kwargs)

@@ -232,6 +232,10 @@ class Tracer:
             metrics.timers[span.name] = (
                 metrics.timers.get(span.name, 0.0) + span.duration_us / 1e6
             )
+        # Every occurrence (including re-entrant inner ones) feeds the
+        # per-name latency histogram: run manifests and the service
+        # layer report p50/p90/p99 from these bounded buckets.
+        metrics.observe(span.name, span.duration_us)
         for name, value in span.counters.items():
             metrics.add(f"{span.name}.{name}", value)
 

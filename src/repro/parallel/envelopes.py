@@ -42,12 +42,16 @@ class ResultEnvelope:
     ``metrics`` maps registry names to ``InstrumentationSnapshot.as_dict``
     payloads (the worker's registry delta for this task); ``spans`` holds
     the recorded span dicts in the :class:`repro.obs.SpanRecord` JSONL
-    shape, with ids local to the worker's recording tracer.
+    shape, with ids local to the worker's recording tracer.  ``events``
+    is the task's instant-event shard (progress heartbeats recorded
+    inside the worker); the run registry merges shards into the run's
+    ``events.jsonl`` in task order so the merged stream is deterministic.
     """
 
     index: int
     value: Any
     metrics: Mapping[str, Dict[str, Dict[str, float]]] = field(default_factory=dict)
     spans: Tuple[Dict[str, Any], ...] = ()
+    events: Tuple[Dict[str, Any], ...] = ()
     elapsed_us: float = 0.0
     worker_pid: Optional[int] = None

@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, Mapping, Optional, Sequence
 
 from ..obs import Instrumentation, InstrumentationSnapshot, get_metrics
+from ..obs.metrics import HistogramSnapshot
 
 __all__ = ["merge_snapshots", "merge_registry_delta", "adopt_recorded_spans"]
 
@@ -42,10 +43,14 @@ def merge_snapshots(
     return merged.snapshot()
 
 
-def _snapshot_from_dict(payload: Mapping[str, Mapping[str, float]]) -> InstrumentationSnapshot:
+def _snapshot_from_dict(payload: Mapping[str, Mapping[str, Any]]) -> InstrumentationSnapshot:
     return InstrumentationSnapshot(
         counters={str(k): int(v) for k, v in payload.get("counters", {}).items()},
         timers={str(k): float(v) for k, v in payload.get("timers", {}).items()},
+        histograms={
+            str(k): HistogramSnapshot.from_dict(v)
+            for k, v in payload.get("histograms", {}).items()
+        },
     )
 
 

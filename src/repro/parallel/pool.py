@@ -41,6 +41,7 @@ from ..obs import (
     registry_snapshot,
     set_tracer,
 )
+from ..obs.runs import current_run
 from .envelopes import ResultEnvelope, TaskEnvelope
 from .merge import adopt_recorded_spans, merge_registry_delta
 from .seeds import derive_seed
@@ -94,13 +95,14 @@ def _execute_task(fn: Callable[[TaskEnvelope], Any], task: TaskEnvelope) -> Resu
     metrics: Dict[str, Dict[str, Dict[str, float]]] = {
         name: snapshot.as_dict()
         for name, snapshot in registry_snapshot().items()
-        if snapshot.counters or snapshot.timers
+        if snapshot.counters or snapshot.timers or snapshot.histograms
     }
     return ResultEnvelope(
         index=task.index,
         value=value,
         metrics=metrics,
         spans=tuple(recorder.records) if recorder is not None else (),
+        events=tuple(recorder.events) if recorder is not None else (),
         elapsed_us=elapsed_us,
         worker_pid=os.getpid(),
     )
@@ -159,8 +161,16 @@ def run_tasks(
         meter.finish()
         ordered = [results[index] for index in range(len(tasks))]
         adopted = 0
+        run = current_run()
         for envelope in ordered:
             merge_registry_delta(envelope.metrics)
+            if run is not None and envelope.events:
+                # Shards land in task order (this loop walks `ordered`),
+                # so the merged events.jsonl is deterministic regardless
+                # of which worker finished first.
+                run.append_worker_events(
+                    envelope.index, envelope.worker_pid, envelope.events
+                )
             if envelope.spans and tracer.enabled:
                 base_us = getattr(pool_span, "start_us", 0.0)
                 container_id = tracer.adopt_span(

@@ -10,6 +10,11 @@ import os
 # repro import so the lazily-initialised active store sees it.
 os.environ["REPRO_NO_CACHE"] = "1"
 
+# Likewise the run registry: hundreds of tests drive `main()` and must
+# not deposit manifests under ~/.local/state.  Tests that exercise the
+# flight recorder point REPRO_RUNS_DIR at a tmp dir and clear this.
+os.environ["REPRO_NO_RUNS"] = "1"
+
 import pytest
 from hypothesis import HealthCheck, settings
 

@@ -18,10 +18,13 @@ import pytest
 from repro.cli import main
 from repro.obs import (
     ChromeTraceExporter,
+    Histogram,
+    HistogramSnapshot,
     Instrumentation,
     JsonlExporter,
     NULL_TRACER,
     ProgressMeter,
+    RecordingExporter,
     Tracer,
     clear_registry,
     disable_progress,
@@ -33,6 +36,7 @@ from repro.obs import (
     progress,
     progress_enabled,
     registry_snapshot,
+    set_progress_interval,
     set_tracer,
     summarize_trace,
 )
@@ -680,3 +684,202 @@ class TestCliRoundTrip:
         counters = payload["instrumentation"]["counters"]
         assert counters["first_step_samples"] > 0
         assert "conformance" in payload["instrumentation"]["timers"]
+
+
+class TestHistograms:
+    """The bounded-bucket latency histograms (PR 7)."""
+
+    def test_quantiles_within_power_of_two(self):
+        histogram = Histogram()
+        for value in (1.0, 3.0, 9.0, 100.0):
+            histogram.observe(value)
+        snapshot = histogram.snapshot()
+        assert snapshot.count == 4
+        assert snapshot.min_value == 1.0
+        assert snapshot.max_value == 100.0
+        # Quantiles report the bucket's upper bound: within 2x of truth.
+        assert 3.0 <= snapshot.quantile(0.5) <= 6.0
+        assert 100.0 <= snapshot.quantile(0.99) <= 200.0
+
+    def test_bucket_boundaries_are_inclusive_upper(self):
+        histogram = Histogram()
+        histogram.observe(4.0)  # exactly 2^2: bucket 2, bound 4.0
+        snapshot = histogram.snapshot()
+        assert snapshot.quantile(0.5) == 4.0
+
+    def test_negative_and_nan_clamp_to_zero_bucket(self):
+        histogram = Histogram()
+        histogram.observe(-5.0)
+        histogram.observe(float("nan"))
+        snapshot = histogram.snapshot()
+        assert snapshot.count == 2
+        assert snapshot.quantile(0.99) == 1.0  # bucket 0 bound
+
+    def test_merge_adds_bucket_counts(self):
+        left, right = Histogram(), Histogram()
+        for _ in range(10):
+            left.observe(2.0)
+        for _ in range(30):
+            right.observe(1000.0)
+        left.merge(right.snapshot())
+        snapshot = left.snapshot()
+        assert snapshot.count == 40
+        assert snapshot.max_value == 1000.0
+        # 75% of mass sits in the large bucket: p90 lands there.
+        assert snapshot.quantile(0.9) >= 1000.0
+
+    def test_snapshot_dict_round_trip(self):
+        histogram = Histogram()
+        for value in (0.5, 7.0, 300.0):
+            histogram.observe(value)
+        payload = histogram.snapshot().as_dict()
+        assert payload["count"] == 3
+        assert "p50" in payload and "p90" in payload and "p99" in payload
+        restored = HistogramSnapshot.from_dict(payload)
+        assert restored.count == 3
+        assert restored.quantile(0.5) == histogram.snapshot().quantile(0.5)
+
+    def test_instrumentation_observe_and_snapshot(self):
+        metrics = Instrumentation()
+        metrics.observe("latency", 12.0)
+        metrics.observe("latency", 90.0)
+        snapshot = metrics.snapshot()
+        assert snapshot.histogram("latency").count == 2
+        assert "histograms" in snapshot.as_dict()
+
+    def test_as_dict_omits_histograms_when_empty(self):
+        # Back-compat: golden --json artifacts predate histograms and
+        # must stay byte-identical when no histogram was observed.
+        metrics = Instrumentation()
+        metrics.add("hits", 1)
+        assert "histograms" not in metrics.snapshot().as_dict()
+
+    def test_tracer_feeds_span_histograms_every_occurrence(self):
+        tracer = Tracer()
+        set_tracer(tracer)
+        with tracer.span("phase"):
+            with tracer.span("phase"):
+                pass
+        tracer.close()
+        spans = get_metrics("spans")
+        # Timer folds outer-only; the histogram counts both occurrences.
+        assert spans.snapshot().histogram("phase").count == 2
+
+    def test_worker_delta_merges_histograms(self):
+        from repro.parallel.merge import merge_registry_delta
+
+        worker = Instrumentation()
+        worker.observe("task_us", 500.0)
+        worker.observe("task_us", 700.0)
+        delta = {"sim": worker.snapshot().as_dict()}
+        get_metrics("sim").observe("task_us", 100.0)
+        merge_registry_delta(delta)
+        merged = get_metrics("sim").snapshot().histogram("task_us")
+        assert merged.count == 3
+        assert merged.max_value == 700.0
+
+
+class TestHeartbeatTraceMirroring:
+    """Satellite 1: heartbeats reach the trace, stderr never doubles."""
+
+    def test_trace_only_run_gets_real_meter_without_stderr(self, capsys):
+        recorder = RecordingExporter()
+        set_tracer(Tracer([recorder]))
+        assert not progress_enabled()
+        meter = progress("loop", stats=lambda: {"frontier": 3})
+        assert isinstance(meter, ProgressMeter)
+        meter._interval = 0.0
+        meter._stride = 1
+        meter.tick(5)
+        assert capsys.readouterr().err == ""  # no stderr line
+        assert len(recorder.events) == 1
+        event = recorder.events[0]
+        assert event["name"] == "heartbeat:loop"
+        assert event["attrs"]["iterations"] == 5
+        assert event["attrs"]["frontier"] == 3
+
+    def test_both_sinks_emit_exactly_once_per_window(self):
+        recorder = RecordingExporter()
+        set_tracer(Tracer([recorder]))
+        stream = io.StringIO()
+        enable_progress(stream=stream, interval=1.0)
+        meter = progress("loop")
+        assert meter._emit_stderr is True
+        meter._interval = 0.0
+        meter._stride = 1
+        meter.tick()
+        # One rate-limit window: one stderr line AND one trace event,
+        # never two of either.
+        assert len(stream.getvalue().splitlines()) == 1
+        assert len(recorder.events) == 1
+
+    def test_disabled_everything_returns_null_meter(self):
+        assert get_tracer() is NULL_TRACER
+        assert not progress_enabled()
+        meter = progress("loop")
+        meter.tick()
+        assert not isinstance(meter, ProgressMeter)
+
+    def test_set_progress_interval_paces_trace_only_meters(self):
+        set_tracer(Tracer([RecordingExporter()]))
+        set_progress_interval(0.25)
+        try:
+            meter = progress("loop")
+            assert meter._interval == 0.25
+        finally:
+            set_progress_interval(1.0)
+
+    def test_set_progress_interval_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            set_progress_interval(0.0)
+        with pytest.raises(ValueError):
+            set_progress_interval(-1.0)
+
+
+class TestExporterCrashSafety:
+    """Satellite 3: every flushed line survives a mid-span kill."""
+
+    def test_jsonl_lines_hit_disk_before_close(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        exporter = JsonlExporter(path)
+        tracer = Tracer([exporter])
+        with tracer.span("phase"):
+            pass
+        tracer.event("heartbeat:x", iterations=1)
+        # Deliberately no close(): the process could be SIGKILLed here.
+        with open(path) as handle:
+            lines = [json.loads(line) for line in handle]
+        kinds = [line["type"] for line in lines]
+        assert kinds == ["meta", "span", "event"]
+
+    def test_summarize_tolerates_mid_span_kill(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        tracer = Tracer([JsonlExporter(path)])
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        tracer.close()
+        # Simulate a kill mid-write: append half a JSON line, and drop
+        # the outer span as if it never got flushed.
+        content = open(path).read().splitlines()
+        spans = [line for line in content if '"type": "span"' in line]
+        kept = [line for line in content if "outer" not in line]
+        with open(path, "w") as handle:
+            handle.write("\n".join(kept) + "\n")
+            handle.write('{"type": "span", "name": "trunc')
+        records = load_trace(path)
+        assert [r.name for r in records] == ["inner"]
+        rendered = summarize_trace(records)
+        assert "orphan span" in rendered  # parent missing, reported not fatal
+        assert len(spans) == 2
+
+    def test_run_events_tolerate_truncated_tail(self, tmp_path):
+        from repro.obs.runs import iter_events
+
+        path = str(tmp_path / "events.jsonl")
+        with open(path, "w") as handle:
+            handle.write(json.dumps({"type": "event", "name": "run-start"}) + "\n")
+            handle.write(json.dumps({"type": "event", "name": "heartbeat:x"}) + "\n")
+            handle.write('{"type": "event", "name": "half')
+        events = iter_events(path)
+        assert [event["name"] for event in events] == ["run-start", "heartbeat:x"]
