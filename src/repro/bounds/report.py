@@ -64,8 +64,17 @@ def full_report(
     max_input: int = 8,
     node_budget: int = 500_000,
     jobs: int = 1,
+    quotient: bool = False,
+    checkpoint_interval: Optional[int] = None,
 ) -> str:
-    """Render the comprehensive analysis report (see module docstring)."""
+    """Render the comprehensive analysis report (see module docstring).
+
+    ``jobs``, ``quotient`` and ``checkpoint_interval`` thread through to
+    the Karp–Miller frontier engine.  ``jobs`` and the checkpoint
+    interval never change the report; ``quotient`` may shrink the
+    reported node count (pruned exploration) but limits, bounded states
+    and every verdict stay identical.
+    """
     lines: List[str] = []
     out = lines.append
     tracer = get_tracer()
@@ -95,7 +104,14 @@ def full_report(
                         OMEGA if i == x_index else (protocol.leaders[s] if not protocol.is_leaderless else 0)
                         for i, s in enumerate(indexed.states)
                     )
-                    tree = karp_miller(protocol, [root], node_budget=min(node_budget, 50_000))
+                    tree = karp_miller(
+                        protocol,
+                        [root],
+                        node_budget=min(node_budget, 50_000),
+                        jobs=jobs,
+                        quotient=quotient,
+                        checkpoint_interval=checkpoint_interval,
+                    )
                     bounded = [s for i, s in enumerate(indexed.states) if tree.place_bounded(i)]
                     out(f"tree: {len(tree.nodes)} nodes, {len(tree.limits)} limit configurations")
                     if bounded:

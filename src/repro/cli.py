@@ -599,9 +599,21 @@ def _cmd_dot(args) -> int:
 def _cmd_analyze(args) -> int:
     from .bounds.report import full_report
 
+    if args.protocol is None:
+        raise SystemExit("error: analyze requires a protocol (or --resume RUN)")
     protocol = resolve_protocol(args.protocol)
     predicate = parse_predicate(args.predicate) if args.predicate else None
-    print(full_report(protocol, predicate, max_input=args.max_input, jobs=args.jobs))
+    print(
+        full_report(
+            protocol,
+            predicate,
+            max_input=args.max_input,
+            node_budget=args.node_budget,
+            jobs=args.jobs,
+            quotient=args.quotient,
+            checkpoint_interval=args.checkpoint_interval,
+        )
+    )
     return 0
 
 
@@ -1062,9 +1074,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(handler=_cmd_dot)
 
     p = sub.add_parser("analyze", help="run every analysis and print the full report")
-    p.add_argument("protocol")
+    p.add_argument(
+        "protocol",
+        nargs="?",
+        default=None,
+        help="protocol to analyze (optional with --resume, which replays "
+        "the recorded run's own arguments)",
+    )
     p.add_argument("predicate", nargs="?", default=None, help="optional predicate to verify against")
     p.add_argument("--max-input", type=int, default=8)
+    p.add_argument(
+        "--node-budget",
+        type=int,
+        default=500_000,
+        metavar="N",
+        help="Karp-Miller / verification node budget (default 500000)",
+    )
+    p.add_argument(
+        "--quotient",
+        action="store_true",
+        help="dedup symmetric configurations in the coverability section "
+        "(same limits and verdicts, exponentially fewer expansions)",
+    )
+    p.add_argument(
+        "--checkpoint-interval",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="checkpoint the coverability frontier into the cache every N "
+        "expansions, making a killed analysis resumable (--resume)",
+    )
+    p.add_argument(
+        "--resume",
+        metavar="RUN",
+        default=None,
+        help="replay a recorded run ('latest', id, or unique prefix) and "
+        "resume its coverability frontier from the last checkpoint",
+    )
     _add_jobs_flag(p)
     _add_obs_flags(p)
     p.set_defaults(handler=_cmd_analyze)
@@ -1243,12 +1289,58 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _resume_replay(parser: argparse.ArgumentParser, args, argv: List[str]):
+    """Resolve ``analyze --resume RUN`` into the recorded run's own argv.
+
+    Resuming must reproduce the killed run's *entire* configuration —
+    protocol, budgets, ``--cache-dir`` and all — or the checkpoint
+    lookup would miss (different store) or the tree would differ
+    (different flags).  So the recorded argv is reparsed wholesale; the
+    actual frontier restore then happens inside the engine, keyed by
+    content address.  Runs before the checkpoint feature (or killed
+    before the first checkpoint boundary) simply recompute from scratch.
+    """
+    spec = args.resume
+    root = runlog.resolve_root()
+    try:
+        run_id = runlog.resolve_run_id(root, spec)
+        manifest = runlog.load_manifest(root, run_id)
+    except runlog.RunsError as error:
+        raise SystemExit(f"error: --resume: {error}")
+    replay = [token for token in manifest.get("argv", []) if token]
+    if not replay:
+        raise SystemExit(
+            f"error: --resume: run {run_id} recorded no argv to replay"
+        )
+    replayed = parser.parse_args(replay)
+    if getattr(replayed, "command", None) != "analyze":
+        raise SystemExit(
+            f"error: --resume: run {run_id} was `repro {manifest.get('command')}`, "
+            "not an analyze run"
+        )
+    if getattr(replayed, "resume", None):
+        raise SystemExit(
+            f"error: --resume: run {run_id} was itself a --resume invocation; "
+            "resume the original run instead"
+        )
+    if not manifest.get("checkpoints"):
+        print(
+            f"resume: run {run_id} recorded no checkpoint; recomputing from scratch",
+            file=sys.stderr,
+        )
+    print(f"resume: replaying run {run_id}: repro {' '.join(replay)}", file=sys.stderr)
+    return replayed, replay
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    effective_argv = list(argv) if argv is not None else sys.argv[1:]
+    if getattr(args, "resume", None):
+        args, effective_argv = _resume_replay(parser, args, effective_argv)
     _validate_artifact_paths(args)
-    recorder = _open_run(args, argv)
+    recorder = _open_run(args, effective_argv)
     try:
         with _caching(args), _observability(args, recorder):
             code = args.handler(args)

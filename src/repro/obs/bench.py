@@ -487,6 +487,66 @@ def _cache_km_warm() -> Dict[str, int]:
 
 
 @register_workload(
+    "coverability.sharded_cold",
+    description="quotient-dedup Karp–Miller at flat:8, the naive engine's size wall (E18)",
+)
+def _coverability_sharded_cold() -> Dict[str, int]:
+    from ..protocols import flat_threshold
+    from ..reachability.coverability import OMEGA, karp_miller
+    from ..reachability.pseudo import input_state
+
+    protocol = flat_threshold(8)
+    indexed = protocol.indexed()
+    x_index = indexed.index[input_state(protocol)]
+    root = tuple(OMEGA if i == x_index else 0 for i in range(indexed.n))
+    tree = karp_miller(protocol, [root], node_budget=200_000, quotient=True)
+    return {"nodes": len(tree.nodes), "limits": len(tree.limits)}
+
+
+@register_workload(
+    "coverability.sharded_resume",
+    description="checkpointed Karp–Miller killed at the node budget, then resumed (E18)",
+)
+def _coverability_sharded_resume() -> Dict[str, int]:
+    import shutil
+    import tempfile
+
+    from ..cache.store import CacheStore, use_store
+    from ..core.errors import SearchBudgetExceeded
+    from ..protocols import flat_threshold
+    from ..reachability.coverability import OMEGA
+    from ..reachability.frontier import KarpMillerFrontier
+    from ..reachability.pseudo import input_state
+
+    protocol = flat_threshold(7)
+    indexed = protocol.indexed()
+    x_index = indexed.index[input_state(protocol)]
+    root = tuple(OMEGA if i == x_index else 0 for i in range(indexed.n))
+    directory = tempfile.mkdtemp(prefix="repro-bench-kmresume-")
+    try:
+        with use_store(CacheStore(directory, memory_entries=0)):
+            first = KarpMillerFrontier(
+                protocol, [root], node_budget=12, checkpoint_interval=1
+            )
+            try:
+                first.run()
+            except SearchBudgetExceeded:
+                pass
+            second = KarpMillerFrontier(
+                protocol, [root], node_budget=200_000, checkpoint_interval=1_000
+            )
+            result = second.run()
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+    return {
+        "nodes": len(result.nodes),
+        "limits": len(result.limits),
+        "checkpoints": first.stats.checkpoints_written,
+        "resumed_expansions": second.stats.resumed_expansions,
+    }
+
+
+@register_workload(
     "cache.pottier_cold",
     description="Hilbert basis at binary:10 against an empty analysis cache (E15)",
 )

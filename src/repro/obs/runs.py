@@ -230,6 +230,7 @@ class RunRecorder:
                 "trace": TRACE_NAME,
             },
             "worker_events": 0,
+            "checkpoints": {},
             "metrics": None,
             "cache": None,
         }
@@ -293,6 +294,21 @@ class RunRecorder:
     def link_artifact(self, kind: str, path: str) -> None:
         """Record an externally-written artifact (``--trace``, bench out)."""
         self.manifest["artifacts"][kind] = os.path.abspath(path)
+        self._write_manifest()
+
+    def note_checkpoint(self, analysis: str, key: str, **info: Any) -> None:
+        """Register a resumable checkpoint written to the analysis cache.
+
+        Unlike :meth:`link_artifact` the reference is a content address
+        (store entry key), not a path — ``repro analyze --resume`` finds
+        the entry through the replayed run's own store configuration.
+        The manifest keeps the latest checkpoint per analysis, so a
+        post-mortem of a SIGKILL'd run shows exactly where a resume
+        would pick up.
+        """
+        entry = {"key": key, "wall_unix": round(time.time(), 3)}
+        entry.update(info)
+        self.manifest.setdefault("checkpoints", {})[analysis] = entry
         self._write_manifest()
 
     # -- finalization --------------------------------------------------

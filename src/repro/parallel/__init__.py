@@ -22,13 +22,14 @@ speedup is claimed (benchmark E13).
 
 from .envelopes import ResultEnvelope, TaskEnvelope
 from .merge import adopt_recorded_spans, merge_registry_delta, merge_snapshots
-from .pool import chunk_ranges, default_chunk_size, resolve_jobs, run_tasks
+from .pool import chunk_ranges, default_chunk_size, resolve_jobs, run_tasks, worker_pool
 from .seeds import SEED_BITS, derive_seed, spawn_seeds
 
 __all__ = [
     "TaskEnvelope",
     "ResultEnvelope",
     "run_tasks",
+    "worker_pool",
     "resolve_jobs",
     "chunk_ranges",
     "default_chunk_size",

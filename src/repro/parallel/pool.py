@@ -29,7 +29,8 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..obs import (
     NULL_TRACER,
@@ -46,7 +47,7 @@ from .envelopes import ResultEnvelope, TaskEnvelope
 from .merge import adopt_recorded_spans, merge_registry_delta
 from .seeds import derive_seed
 
-__all__ = ["run_tasks", "resolve_jobs", "chunk_ranges", "default_chunk_size"]
+__all__ = ["run_tasks", "worker_pool", "resolve_jobs", "chunk_ranges", "default_chunk_size"]
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -77,6 +78,29 @@ def default_chunk_size(total: int, jobs: int, *, per_worker: int = 4) -> int:
     if jobs <= 1:
         return max(1, total)
     return max(1, -(-total // (jobs * per_worker)))
+
+
+@contextmanager
+def worker_pool(jobs: Optional[int]) -> Iterator[Optional[ProcessPoolExecutor]]:
+    """A reusable executor for call sites issuing many ``run_tasks`` waves.
+
+    Round-structured algorithms (the Karp–Miller frontier, backward
+    coverability) call :func:`run_tasks` once per round; respawning a
+    process pool each round would dominate small rounds.  This yields a
+    single executor to thread through via the ``executor=`` parameter —
+    or ``None`` at ``jobs<=1``, where :func:`run_tasks` runs inline
+    anyway.  Determinism is unaffected: the executor only carries the
+    worker processes, never results or ordering.
+    """
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1:
+        yield None
+        return
+    executor = ProcessPoolExecutor(max_workers=jobs)
+    try:
+        yield executor
+    finally:
+        executor.shutdown()
 
 
 def _execute_task(fn: Callable[[TaskEnvelope], Any], task: TaskEnvelope) -> ResultEnvelope:
@@ -115,6 +139,7 @@ def run_tasks(
     jobs: int = 1,
     root_seed: Optional[int] = None,
     label: str = "parallel",
+    executor: Optional[ProcessPoolExecutor] = None,
 ) -> List[ResultEnvelope]:
     """Run ``fn`` over ``payloads``; results are returned in task order.
 
@@ -123,6 +148,8 @@ def run_tasks(
     registry delta into this process's registry and adopts its recorded
     spans into the live trace.  When ``root_seed`` is given, task ``i``
     carries ``derive_seed(root_seed, i)`` — stable for any ``jobs``.
+    An ``executor`` from :func:`worker_pool` is reused (and left open);
+    otherwise a pool is created and torn down for this call.
     """
     jobs = resolve_jobs(jobs)
     capture = bool(get_tracer().enabled) and jobs > 1 and len(payloads) > 1
@@ -148,9 +175,12 @@ def run_tasks(
         "parallel.pool", label=label, jobs=jobs, tasks=len(tasks)
     ) as pool_span:
         results: Dict[int, ResultEnvelope] = {}
-        workers = min(jobs, len(tasks))
-        with ProcessPoolExecutor(max_workers=workers) as executor:
-            pending = {executor.submit(_execute_task, fn, task) for task in tasks}
+        owned = executor is None
+        pool = executor if executor is not None else ProcessPoolExecutor(
+            max_workers=min(jobs, len(tasks))
+        )
+        try:
+            pending = {pool.submit(_execute_task, fn, task) for task in tasks}
             while pending:
                 finished, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for future in finished:
@@ -158,6 +188,9 @@ def run_tasks(
                     results[envelope.index] = envelope
                     done += 1
                     meter.tick()
+        finally:
+            if owned:
+                pool.shutdown()
         meter.finish()
         ordered = [results[index] for index in range(len(tasks))]
         adopted = 0

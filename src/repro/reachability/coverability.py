@@ -23,12 +23,18 @@ constructive on concrete protocols; the astronomically larger Rackoff
 
 Omega entries are represented by ``math.inf``; extended configurations
 are tuples mixing ints and ``inf``.
+
+Both procedures run on the sharded frontier engine of
+:mod:`repro.reachability.frontier`: ``jobs`` fans expansion out across
+the process pool with task-order merging (bit-identical results at any
+width), ``quotient`` prunes automorphic duplicates while preserving the
+limit antichain exactly, and ``checkpoint_interval`` makes long runs
+resumable through the content-addressed cache — see the engine module
+for the soundness arguments.
 """
 
 from __future__ import annotations
 
-import math
-from collections import deque
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from ..cache.decorator import cached_analysis
@@ -36,6 +42,16 @@ from ..core.errors import SearchBudgetExceeded
 from ..core.multiset import Multiset
 from ..core.protocol import IndexedProtocol, PopulationProtocol
 from ..obs import get_tracer, progress
+from ..parallel import run_tasks
+from ..parallel.pool import chunk_ranges, default_chunk_size, worker_pool
+from .frontier import (
+    OMEGA,
+    ExtendedConfig,
+    KarpMillerFrontier,
+    Permutation,
+    _leq,
+    _transition_pre,
+)
 
 __all__ = [
     "OMEGA",
@@ -46,24 +62,7 @@ __all__ = [
     "minimal_coverers",
 ]
 
-OMEGA = math.inf
-"""The omega symbol of Karp–Miller trees ("unboundedly many agents")."""
-
-ExtendedConfig = Tuple[Union[int, float], ...]
-
 DEFAULT_NODE_BUDGET = 200_000
-
-
-def _leq(a: ExtendedConfig, b: ExtendedConfig) -> bool:
-    return all(x <= y for x, y in zip(a, b))
-
-
-def _transition_pre(indexed: IndexedProtocol, t_index: int) -> Tuple[int, ...]:
-    pre = [0] * indexed.n
-    i, j = indexed.pre_pairs[t_index]
-    pre[i] += 1
-    pre[j] += 1
-    return tuple(pre)
 
 
 class KarpMillerTree:
@@ -74,15 +73,37 @@ class KarpMillerTree:
     limits:
         The set of maximal extended configurations discovered.  Their
         downward closure equals the downward closure of the reachable
-        set (restricted to the explored roots).
+        set (restricted to the explored roots).  This is the unique
+        minimal antichain of that closure, so it is identical whether
+        or not the construction ran quotiented or sharded.
     nodes:
         Every extended configuration created during the construction.
+        Under ``quotient=True`` this is the pruned exploration, a
+        subset of the classic tree's node set.
+    accelerations:
+        For each node that gained an ω-component, the branch ancestors
+        whose strict domination introduced it — the acceleration
+        ancestry, preserved through the cache round-trip.
+    group:
+        The root-fixing automorphism permutations the construction
+        quotiented by (just the identity when ``quotient=False``).
     """
 
-    def __init__(self, indexed: IndexedProtocol, limits: Set[ExtendedConfig], nodes: Set[ExtendedConfig]):
+    def __init__(
+        self,
+        indexed: IndexedProtocol,
+        limits: Set[ExtendedConfig],
+        nodes: Set[ExtendedConfig],
+        accelerations: Optional[Dict[ExtendedConfig, Tuple[ExtendedConfig, ...]]] = None,
+        group: Optional[Tuple[Permutation, ...]] = None,
+        quotient: bool = False,
+    ):
         self.indexed = indexed
         self.limits = limits
         self.nodes = nodes
+        self.accelerations = {} if accelerations is None else accelerations
+        self.group = (tuple(range(indexed.n)),) if group is None else group
+        self.quotient = quotient
 
     def covers(self, target: Sequence[int]) -> bool:
         """Is some reachable configuration >= ``target`` (coverability)?"""
@@ -102,6 +123,10 @@ def karp_miller(
     protocol: PopulationProtocol,
     roots: Iterable[Sequence[Union[int, float]]],
     node_budget: int = DEFAULT_NODE_BUDGET,
+    *,
+    jobs: int = 1,
+    quotient: bool = False,
+    checkpoint_interval: Optional[int] = None,
 ) -> KarpMillerTree:
     """Build a Karp–Miller tree from the given roots.
 
@@ -110,16 +135,31 @@ def karp_miller(
     protocol *for all inputs at once*, which is how the leaderless
     analyses in this package use it.
 
+    ``jobs`` shards frontier expansion across the process pool;
+    ``quotient`` dedups automorphic configurations; both leave the
+    ``limits`` antichain and every coverability verdict bit-identical
+    (the differential suite ``tests/test_coverability_sharded.py``
+    enforces this).  ``checkpoint_interval`` writes a resumable partial
+    tree into the active cache store every that-many expansions; a
+    later identical call (any budget, any jobs) resumes from it.
+
     Results are memoised through :mod:`repro.cache` (content-addressed
-    by protocol, roots and budget) when the active store is enabled;
-    pre-indexed first arguments bypass the cache.
+    by protocol, roots, budget and quotient flag) when the active store
+    is enabled; pre-indexed first arguments bypass the cache.
 
     Raises :class:`SearchBudgetExceeded` when more than ``node_budget``
     tree nodes are created.
     """
     # Materialise roots before the cached inner function keys on them
     # (callers may pass generators).
-    return _karp_miller(protocol, [tuple(root) for root in roots], node_budget)
+    return _karp_miller(
+        protocol,
+        [tuple(root) for root in roots],
+        node_budget,
+        jobs=jobs,
+        quotient=quotient,
+        checkpoint_interval=checkpoint_interval,
+    )
 
 
 def _km_encode_config(config: ExtendedConfig) -> List[Union[int, str]]:
@@ -131,9 +171,13 @@ def _km_decode_config(row: Sequence[Union[int, str]]) -> ExtendedConfig:
 
 
 def _km_params(arguments):
+    # jobs and checkpoint_interval deliberately excluded: they are
+    # execution strategy, not analysis identity — the differential
+    # contract guarantees the result does not depend on them.
     return {
         "roots": [_km_encode_config(root) for root in arguments["roots"]],
         "node_budget": int(arguments["node_budget"]),
+        "quotient": bool(arguments["quotient"]),
     }
 
 
@@ -141,6 +185,12 @@ def _km_encode(tree: KarpMillerTree, protocol: PopulationProtocol):
     return {
         "limits": [_km_encode_config(c) for c in sorted(tree.limits)],
         "nodes": [_km_encode_config(c) for c in sorted(tree.nodes)],
+        "accelerations": [
+            [_km_encode_config(node), [_km_encode_config(a) for a in used]]
+            for node, used in sorted(tree.accelerations.items())
+        ],
+        "group": [list(perm) for perm in tree.group],
+        "quotient": bool(tree.quotient),
     }
 
 
@@ -148,10 +198,22 @@ def _km_decode(payload, protocol: PopulationProtocol) -> KarpMillerTree:
     indexed = protocol.indexed()
     limits = {_km_decode_config(row) for row in payload["limits"]}
     nodes = {_km_decode_config(row) for row in payload["nodes"]}
+    accelerations = {
+        _km_decode_config(node): tuple(_km_decode_config(a) for a in used)
+        for node, used in payload["accelerations"]
+    }
+    group = tuple(tuple(int(i) for i in perm) for perm in payload["group"])
     for config in limits | nodes:
         if len(config) != indexed.n:
             raise ValueError("configuration width does not match the protocol")
-    return KarpMillerTree(indexed, limits, nodes)
+    return KarpMillerTree(
+        indexed,
+        limits,
+        nodes,
+        accelerations=accelerations,
+        group=group,
+        quotient=bool(payload["quotient"]),
+    )
 
 
 @cached_analysis(
@@ -164,73 +226,53 @@ def _karp_miller(
     protocol: PopulationProtocol,
     roots: List[ExtendedConfig],
     node_budget: int = DEFAULT_NODE_BUDGET,
+    *,
+    jobs: int = 1,
+    quotient: bool = False,
+    checkpoint_interval: Optional[int] = None,
 ) -> KarpMillerTree:
     indexed = protocol.indexed() if isinstance(protocol, PopulationProtocol) else protocol
-    pres = [_transition_pre(indexed, k) for k in range(len(indexed.deltas))]
-
-    nodes: Set[ExtendedConfig] = set()
-    tracer = get_tracer()
-    # Classic Karp-Miller tree: a branch stops when its configuration
-    # *repeats* an ancestor; acceleration compares only against
-    # ancestors of the same branch.  (Pruning against arbitrary
-    # previously-seen nodes is the well-known unsoundness of naive
-    # "minimal coverability set" algorithms, and is deliberately
-    # avoided here.)
-    stack: List[Tuple[ExtendedConfig, Tuple[ExtendedConfig, ...]]] = []
-    for root in roots:
-        root_t: ExtendedConfig = tuple(root)
-        stack.append((root_t, ()))
-        nodes.add(root_t)
-
-    def accelerate(config: ExtendedConfig, ancestors: Tuple[ExtendedConfig, ...]) -> ExtendedConfig:
-        accelerated = list(config)
-        for ancestor in ancestors:
-            if _leq(ancestor, config) and ancestor != config:
-                for idx in range(len(accelerated)):
-                    if ancestor[idx] < config[idx]:
-                        accelerated[idx] = OMEGA
-        return tuple(accelerated)
-
-    with tracer.span(
+    with get_tracer().span(
         "coverability.karp_miller",
         states=indexed.n,
         transitions=len(indexed.deltas),
         node_budget=node_budget,
+        jobs=jobs,
+        quotient=int(quotient),
     ) as span:
-        meter = progress(
-            "karp-miller", lambda: {"frontier": len(stack), "nodes": len(nodes)}
+        engine = KarpMillerFrontier(
+            indexed,
+            roots,
+            node_budget=node_budget,
+            jobs=jobs,
+            quotient=quotient,
+            checkpoint_interval=checkpoint_interval,
         )
-        while stack:
-            meter.tick()
-            config, ancestors = stack.pop()
-            if config in ancestors:
-                continue  # branch terminates: configuration repeated
-            chain = ancestors + (config,)
-            for k in indexed.non_silent:
-                pre = pres[k]
-                if not _leq(pre, config):
-                    continue
-                delta = indexed.deltas[k]
-                successor = tuple(
-                    c if c == OMEGA else c + d for c, d in zip(config, delta)
-                )
-                successor = accelerate(successor, chain)
-                nodes.add(successor)
-                if len(nodes) > node_budget:
-                    span.add("budget_exceeded")
-                    raise SearchBudgetExceeded(
-                        f"Karp-Miller construction exceeded {node_budget} nodes"
-                    )
-                stack.append((successor, chain))
-        meter.finish()
-
-        limits: Set[ExtendedConfig] = set()
-        for candidate in nodes:
-            if not any(_leq(candidate, other) and candidate != other for other in nodes):
-                limits.add(candidate)
-        span.add("nodes", len(nodes))
-        span.add("limits", len(limits))
-    return KarpMillerTree(indexed, limits, nodes)
+        try:
+            result = engine.run()
+        except SearchBudgetExceeded:
+            span.add("budget_exceeded")
+            if engine.stats.checkpoints_written:
+                span.add("checkpoints", engine.stats.checkpoints_written)
+            raise
+        span.add("nodes", len(result.nodes))
+        span.add("limits", len(result.limits))
+        span.add("expansions", result.stats.expansions)
+        if result.stats.dedup_hits:
+            span.add("dedup_hits", result.stats.dedup_hits)
+        if result.stats.checkpoints_written:
+            span.add("checkpoints", result.stats.checkpoints_written)
+        if result.stats.resumed:
+            span.add("resumed")
+            span.set(resumed_expansions=result.stats.resumed_expansions)
+    return KarpMillerTree(
+        indexed,
+        result.limits,
+        result.nodes,
+        accelerations=result.accelerations,
+        group=result.group,
+        quotient=quotient,
+    )
 
 
 def is_coverable_from(
@@ -238,9 +280,14 @@ def is_coverable_from(
     root: Sequence[Union[int, float]],
     target: Sequence[int],
     node_budget: int = DEFAULT_NODE_BUDGET,
+    *,
+    jobs: int = 1,
+    quotient: bool = False,
 ) -> bool:
     """Coverability query: can ``root`` reach some ``C >= target``?"""
-    tree = karp_miller(protocol, [root], node_budget=node_budget)
+    tree = karp_miller(
+        protocol, [root], node_budget=node_budget, jobs=jobs, quotient=quotient
+    )
     return tree.covers(target)
 
 
@@ -255,10 +302,33 @@ def _minimise(vectors: Iterable[Tuple[int, ...]]) -> List[Tuple[int, ...]]:
     return minimal
 
 
+def _backward_candidates(task) -> List[Tuple[int, ...]]:
+    """One backward-coverability round over a slice of the basis.
+
+    Candidates already covered by the *current* basis are filtered in
+    the worker (each worker carries the full basis), so the parent only
+    minimises.  Pure function of (basis, slice), hence shard-invariant.
+    """
+    protocol, basis, start, stop = task.payload
+    indexed = protocol.indexed() if isinstance(protocol, PopulationProtocol) else protocol
+    pres = [_transition_pre(indexed, k) for k in range(len(indexed.deltas))]
+    out: List[Tuple[int, ...]] = []
+    for m in basis[start:stop]:
+        for k in indexed.non_silent:
+            delta = indexed.deltas[k]
+            pre = pres[k]
+            candidate = tuple(max(p, x - d) for p, x, d in zip(pre, m, delta))
+            if not any(_leq(b, candidate) for b in basis):
+                out.append(candidate)
+    return out
+
+
 def backward_coverability_basis(
     protocol: PopulationProtocol,
     target: Sequence[int],
     iteration_budget: int = 10_000,
+    *,
+    jobs: int = 1,
 ) -> List[Tuple[int, ...]]:
     """Minimal basis of ``{C : C can reach some C' >= target}``.
 
@@ -268,32 +338,47 @@ def backward_coverability_basis(
     basis stabilises.  Termination is guaranteed by Dickson's lemma;
     the ``iteration_budget`` guards against pathological blow-up.
 
+    ``jobs`` shards each round's basis across the process pool; merged
+    candidate lists come back in basis order, so the result is
+    bit-identical to the serial run.
+
     Returns the minimal elements of the final upward-closed set.
     """
     indexed = protocol.indexed() if isinstance(protocol, PopulationProtocol) else protocol
-    pres = [_transition_pre(indexed, k) for k in range(len(indexed.deltas))]
+    base = indexed.protocol
 
     basis: List[Tuple[int, ...]] = _minimise([tuple(int(x) for x in target)])
     with get_tracer().span(
-        "coverability.backward", states=indexed.n, iteration_budget=iteration_budget
+        "coverability.backward",
+        states=indexed.n,
+        iteration_budget=iteration_budget,
+        jobs=jobs,
     ) as span:
         meter = progress("backward-coverability", lambda: {"basis": len(basis)})
-        for _ in range(iteration_budget):
-            meter.tick()
-            span.add("rounds")
-            new_elements: List[Tuple[int, ...]] = []
-            for m in basis:
-                for k in indexed.non_silent:
-                    delta = indexed.deltas[k]
-                    pre = pres[k]
-                    candidate = tuple(max(p, x - d) for p, x, d in zip(pre, m, delta))
-                    if not any(_leq(b, candidate) for b in basis):
-                        new_elements.append(candidate)
-            if not new_elements:
-                meter.finish()
-                span.add("basis", len(basis))
-                return basis
-            basis = _minimise(basis + new_elements)
+        with worker_pool(jobs) as pool:
+            for _ in range(iteration_budget):
+                meter.tick()
+                span.add("rounds")
+                chunk = default_chunk_size(len(basis), jobs)
+                payloads = [
+                    (base, basis, start, stop)
+                    for start, stop in chunk_ranges(len(basis), chunk)
+                ]
+                results = run_tasks(
+                    _backward_candidates,
+                    payloads,
+                    jobs=jobs,
+                    label="backward-coverability",
+                    executor=pool,
+                )
+                new_elements: List[Tuple[int, ...]] = []
+                for envelope in results:
+                    new_elements.extend(envelope.value)
+                if not new_elements:
+                    meter.finish()
+                    span.add("basis", len(basis))
+                    return basis
+                basis = _minimise(basis + new_elements)
         span.add("budget_exceeded")
     raise SearchBudgetExceeded(
         f"backward coverability did not stabilise within {iteration_budget} rounds"
@@ -304,6 +389,8 @@ def minimal_coverers(
     protocol: PopulationProtocol,
     state: object,
     iteration_budget: int = 10_000,
+    *,
+    jobs: int = 1,
 ) -> List[Multiset]:
     """Minimal configurations from which the given *state* can be covered.
 
@@ -315,5 +402,5 @@ def minimal_coverers(
     indexed = protocol.indexed()
     target = [0] * indexed.n
     target[indexed.index[state]] = 1
-    basis = backward_coverability_basis(protocol, target, iteration_budget)
+    basis = backward_coverability_basis(protocol, target, iteration_budget, jobs=jobs)
     return [indexed.decode(b) for b in basis]

@@ -110,3 +110,104 @@ class TestBackwardCoverability:
         target = tuple(2 if s == "zero" else 0 for s in indexed.states)
         basis = backward_coverability_basis(threshold4, target)
         assert any(all(b <= t for b, t in zip(base, target)) for base in basis)
+
+
+# ------------------------------------------------------------------ properties
+#
+# Hypothesis-driven laws for the basis machinery and the coverability
+# relation itself.  These are the algebraic half of the differential
+# harness in test_coverability_sharded.py: that file pins *strategies*
+# against each other, this one pins the answers against the maths.
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import SearchBudgetExceeded
+from repro.reachability.coverability import _minimise
+from repro.testing import protocols as random_protocols
+
+
+def _vectors(data):
+    width = data.draw(st.integers(1, 4))
+    return data.draw(
+        st.lists(
+            st.tuples(*[st.integers(0, 4) for _ in range(width)]),
+            min_size=1,
+            max_size=12,
+        )
+    )
+
+
+def _dominates(a, b):
+    return all(x <= y for x, y in zip(a, b))
+
+
+class TestMinimiseProperties:
+    @given(data=st.data())
+    def test_antichain(self, data):
+        minimal = _minimise(_vectors(data))
+        for a in minimal:
+            for b in minimal:
+                if a != b:
+                    assert not _dominates(a, b)
+
+    @given(data=st.data())
+    def test_every_input_covered(self, data):
+        vectors = _vectors(data)
+        minimal = _minimise(vectors)
+        # every input vector sits in the upward closure of the basis
+        for v in vectors:
+            assert any(_dominates(m, v) for m in minimal)
+
+    @given(data=st.data())
+    def test_subset_and_idempotent(self, data):
+        vectors = _vectors(data)
+        minimal = _minimise(vectors)
+        assert set(minimal) <= set(vectors)
+        assert set(_minimise(minimal)) == set(minimal)
+
+
+class TestCoverabilityLaws:
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_minimal_coverers_antichain(self, data):
+        protocol = data.draw(random_protocols(max_states=3))
+        state = data.draw(st.sampled_from(protocol.states))
+        try:
+            coverers = minimal_coverers(protocol, state)
+        except SearchBudgetExceeded:
+            assume(False)
+        for a in coverers:
+            for b in coverers:
+                if a != b:
+                    assert not a <= b
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_coverability_monotone_under_extension(self, data):
+        """Adding agents never destroys coverability: extra agents can
+        idle while the witnessing firing sequence runs unchanged."""
+        protocol = data.draw(random_protocols(max_states=3))
+        indexed = protocol.indexed()
+        state = data.draw(st.sampled_from(protocol.states))
+        target = tuple(1 if s == state else 0 for s in indexed.states)
+        small = indexed.initial_counts(data.draw(st.integers(2, 4)))
+        extra = data.draw(
+            st.tuples(*[st.integers(0, 2) for _ in range(indexed.n)])
+        )
+        big = tuple(a + b for a, b in zip(small, extra))
+        # quotient=True bounds the work globally (visited-set dedup);
+        # verdict equivalence with the plain engine is pinned by the
+        # differential suite, so the law proved here transfers.
+        try:
+            covered_small = is_coverable_from(
+                protocol, small, target, node_budget=5_000, quotient=True
+            )
+            if not covered_small:
+                return
+            covered_big = is_coverable_from(
+                protocol, big, target, node_budget=5_000, quotient=True
+            )
+        except SearchBudgetExceeded:
+            assume(False)
+        assert covered_big
