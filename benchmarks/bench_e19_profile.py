@@ -1,0 +1,104 @@
+"""E19 — differential work profiles: aggregation cost and blame quality.
+
+The profile layer (``repro.obs.profile``) turns a recorded span forest
+into a deterministic per-path aggregate, and the attribution pipeline
+re-runs drifted ledger workloads under the tracer to name the guilty
+subtree.  Both sit on the CI critical path (every ``bench compare
+--attribute`` on a red ledger), so E19 pins:
+
+* **Aggregation throughput** — ``build_profile`` over the synthetic
+  sharded-frontier trace the ``obs.profile_aggregate`` ledger workload
+  uses (1000 spans, 360 of them pool/task plumbing), and over a real
+  recorded trace (a traced ``enumeration.bb2`` run), asserting the
+  deterministic path/splice counts each time.
+* **Serial ≡ parallel profiles** — the work-count profile of a traced
+  workload is bit-identical at ``jobs`` 1 and 2 (the repo's
+  determinism contract, measured rather than assumed).
+* **Blame quality** — a deterministically perturbed ``simulate.count``
+  (step budget under the convergence point) must be attributed to the
+  ``simulate.run`` span subtree, end to end, at benchmark time just
+  like in the profile-smoke CI job.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fmt import render_table, section
+from repro.obs import profile as prof
+from repro.obs.bench import _synthetic_frontier_trace, get_workload
+
+
+def test_e19_aggregate_synthetic_frontier(benchmark):
+    spans = _synthetic_frontier_trace()
+    profile = benchmark(prof.build_profile, spans)
+    assert profile.span_count == 640
+    assert profile.spliced_count == 360
+    assert set(profile.paths) == {
+        ("frontier.expand",),
+        ("frontier.expand", "cache.lookup"),
+    }
+
+
+def test_e19_record_real_workload_profile(benchmark):
+    recording = benchmark.pedantic(
+        prof.record_workload_profile,
+        args=("enumeration.bb2",),
+        rounds=1,
+        iterations=1,
+    )
+    assert recording.work["protocols_enumerated"] == 216
+    assert "bounds.busy_beaver" in recording.profile.work_counts()
+
+
+def test_e19_profiles_identical_across_jobs():
+    serial = prof.record_workload_profile("enumeration.bb2", jobs=1)
+    parallel = prof.record_workload_profile("enumeration.bb2", jobs=2)
+    assert serial.work == parallel.work
+    assert serial.profile.work_counts() == parallel.profile.work_counts()
+
+
+def test_e19_attribution_names_perturbed_subtree(monkeypatch, benchmark):
+    baseline_work = get_workload("simulate.count").run()
+    monkeypatch.setenv("REPRO_BENCH_PERTURB_COUNT_MAX_STEPS", "1600")
+    base = {"workloads": {"simulate.count": {"work": dict(
+        baseline_work, **{"simulate.run.interactions": baseline_work["interactions"]}
+    )}}}
+    new = {"workloads": {"simulate.count": {"work": {
+        "interactions": 1600, "converged": 0, "simulate.run.interactions": 1600,
+    }}}}
+    attribution = benchmark.pedantic(
+        prof.attribute_work_drift, args=(base, new), rounds=1, iterations=1
+    )
+    assert "simulate.run" in attribution.guilty_paths()
+
+
+def test_e19_report():
+    rows = []
+    spans = _synthetic_frontier_trace()
+    profile = prof.build_profile(spans)
+    rows.append(
+        [
+            "synthetic frontier",
+            len(spans),
+            profile.span_count,
+            len(profile.paths),
+            profile.spliced_count,
+        ]
+    )
+    recording = prof.record_workload_profile("enumeration.bb2")
+    rows.append(
+        [
+            "enumeration.bb2 (traced)",
+            recording.profile.span_count + recording.profile.spliced_count,
+            recording.profile.span_count,
+            len(recording.profile.paths),
+            recording.profile.spliced_count,
+        ]
+    )
+    print(section("E19 — work-profile aggregation (spans → paths)"))
+    print(
+        render_table(
+            ["trace", "input spans", "work spans", "paths", "spliced"], rows
+        )
+    )

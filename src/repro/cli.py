@@ -57,6 +57,7 @@ from .obs import (
     set_progress_interval,
     set_tracer,
     summarize_trace,
+    trace_summary,
 )
 from .obs import runs as runlog
 from .obs.report import render_report_for_run
@@ -177,7 +178,12 @@ def _nonneg_int(text: str) -> int:
 # Output-file flags checked open-and-fail-fast before any work starts:
 # a multi-hour search must not die at the final write because the
 # artifact directory never existed.
-_ARTIFACT_FLAGS = (("trace", "--trace"), ("out", "--out"), ("output", "--output"))
+_ARTIFACT_FLAGS = (
+    ("trace", "--trace"),
+    ("out", "--out"),
+    ("output", "--output"),
+    ("attribution_out", "--attribution-out"),
+)
 
 
 def _validate_artifact_paths(args) -> None:
@@ -702,7 +708,86 @@ def _cmd_trace_summarize(args) -> int:
         records = load_trace(args.file)
     except (OSError, ValueError) as error:
         raise SystemExit(f"error: cannot read trace {args.file!r}: {error}")
+    if args.json:
+        print(json.dumps(trace_summary(records, sort=args.sort), indent=2))
+        return 0
     print(summarize_trace(records, sort=args.sort))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Work profiles (`repro profile ...`)
+# ----------------------------------------------------------------------
+
+
+def _cmd_profile_record(args) -> int:
+    from .obs import profile as prof
+
+    if os.path.exists(args.target):
+        try:
+            records = load_trace(args.target)
+        except (OSError, ValueError) as error:
+            raise SystemExit(f"error: cannot read trace {args.target!r}: {error}")
+        profile = prof.build_profile(
+            records, meta={"source_trace": os.path.abspath(args.target)}
+        )
+    else:
+        try:
+            recording = prof.record_workload_profile(
+                args.target, jobs=resolve_jobs(args.jobs)
+            )
+        except KeyError as error:
+            raise SystemExit(f"error: {error.args[0]}")
+        profile = recording.profile
+        profile.meta["work"] = recording.work
+    prof.write_profile(args.out, profile)
+    print(
+        f"profile: {len(profile.paths)} paths from {profile.span_count} spans "
+        f"-> {args.out}"
+    )
+    return 0
+
+
+def _load_profile_arg(path: str):
+    from .obs import profile as prof
+
+    try:
+        return prof.load_profile(path)
+    except prof.ProfileError as error:
+        raise SystemExit(f"error: {error}")
+
+
+def _cmd_profile_show(args) -> int:
+    from .obs import profile as prof
+
+    profile = _load_profile_arg(args.file)
+    if args.json:
+        print(json.dumps(prof.profile_to_dict(profile), indent=2, sort_keys=True))
+    elif args.folded:
+        sys.stdout.write(prof.to_folded(profile, metric=args.metric))
+    elif args.speedscope:
+        print(json.dumps(prof.to_speedscope(profile), indent=1))
+    else:
+        print(prof.render_profile(profile, sort=args.sort, limit=args.limit))
+    return 0
+
+
+def _cmd_profile_diff(args) -> int:
+    from .obs import profile as prof
+
+    base = _load_profile_arg(args.base)
+    new = _load_profile_arg(args.new)
+    diff = prof.diff_profiles(
+        base,
+        new,
+        time_threshold=args.time_threshold,
+        base_label=args.base,
+        new_label=args.new,
+    )
+    print(diff.render())
+    if diff.work_drift():
+        print("\nFAIL: exact work-count drift between the profiles")
+        return 1
     return 0
 
 
@@ -734,6 +819,33 @@ def _fmt_started(manifest) -> str:
     return _time.strftime("%Y-%m-%d %H:%M:%S", _time.gmtime(started))
 
 
+def _manifest_quantiles(manifest) -> tuple:
+    """``(p50, p99)`` strings from the busiest persisted histogram.
+
+    Manifests snapshot every metrics registry at finalisation; the
+    histogram with the most observations (usually ``spans`` latency)
+    is the one worth a column in ``runs list``.
+    """
+    best = None
+    for payload in (manifest.get("metrics") or {}).values():
+        if not isinstance(payload, dict):
+            continue
+        for hist in (payload.get("histograms") or {}).values():
+            if not isinstance(hist, dict) or not hist.get("count"):
+                continue
+            if best is None or hist["count"] > best["count"]:
+                best = hist
+
+    def _fmt(value) -> str:
+        if not isinstance(value, (int, float)):
+            return "-"
+        return f"{value / 1e3:.1f}ms"
+
+    if best is None:
+        return "-", "-"
+    return _fmt(best.get("p50")), _fmt(best.get("p99"))
+
+
 def _cmd_runs_list(args) -> int:
     from .fmt import render_table
 
@@ -756,6 +868,7 @@ def _cmd_runs_list(args) -> int:
     for manifest in manifests:
         status, stale = runlog.effective_status(manifest)
         duration = manifest.get("duration_s")
+        p50, p99 = _manifest_quantiles(manifest)
         rows.append(
             [
                 manifest["run_id"],
@@ -763,10 +876,15 @@ def _cmd_runs_list(args) -> int:
                 manifest.get("command", "?"),
                 _fmt_started(manifest),
                 f"{duration:.1f}s" if isinstance(duration, (int, float)) else "-",
+                p50,
+                p99,
                 manifest.get("jobs") or "-",
             ]
         )
-    print(render_table(["run", "status", "command", "started (UTC)", "duration", "jobs"], rows))
+    print(render_table(
+        ["run", "status", "command", "started (UTC)", "duration", "p50", "p99", "jobs"],
+        rows,
+    ))
     if any(row[1].endswith("*") for row in rows):
         print("\n* inferred killed: recorded PID is gone but the run was never finalized")
     return 0
@@ -891,6 +1009,42 @@ def _cmd_runs_report(args) -> int:
     return 0
 
 
+def _cmd_runs_diff(args) -> int:
+    from .obs import profile as prof
+
+    root = _runs_registry_root(args)
+    profiles = []
+    run_ids = []
+    try:
+        for spec in (args.run_a, args.run_b):
+            run_id = runlog.resolve_run_id(root, spec)
+            manifest = runlog.load_manifest(root, run_id)
+            trace_path = os.path.join(
+                runlog.run_directory(root, run_id), runlog.TRACE_NAME
+            )
+            spans = load_trace(trace_path) if os.path.exists(trace_path) else []
+            if not spans:
+                print(f"warning: run {run_id} recorded no spans", file=sys.stderr)
+            profiles.append(prof.build_profile(spans, meta={"run": run_id}))
+            run_ids.append(run_id)
+            print(f"{run_id}: repro {' '.join(manifest.get('argv', []))}")
+    except runlog.RunsError as error:
+        raise SystemExit(f"error: {error}")
+    diff = prof.diff_profiles(
+        profiles[0],
+        profiles[1],
+        time_threshold=args.time_threshold,
+        base_label=f"run {run_ids[0]}",
+        new_label=f"run {run_ids[1]}",
+    )
+    print()
+    print(diff.render())
+    if diff.work_drift():
+        print("\nFAIL: exact work-count drift between the runs")
+        return 1
+    return 0
+
+
 # ----------------------------------------------------------------------
 # The performance ledger (`repro bench ...`)
 # ----------------------------------------------------------------------
@@ -937,6 +1091,19 @@ def _cmd_bench_compare(args) -> int:
     except ledger.LedgerError as error:
         raise SystemExit(f"error: {error}")
     print(report.render())
+    if args.attribute:
+        from .obs import profile as prof
+
+        attribution = prof.attribute_work_drift(
+            base, new, jobs=resolve_jobs(args.jobs)
+        )
+        print()
+        print(attribution.render())
+        if args.attribution_out:
+            with open(args.attribution_out, "w") as handle:
+                json.dump(attribution.as_dict(), handle, indent=1, sort_keys=True)
+                handle.write("\n")
+            print(f"attribution written to {args.attribution_out}", file=sys.stderr)
     if report.ok(args.fail_on):
         return 0
     kinds = sorted({f.kind for f in report.regressions()})
@@ -1125,7 +1292,75 @@ def build_parser() -> argparse.ArgumentParser:
         default="total",
         help="row order: total wall time (default), self time, or call count",
     )
+    ps.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable summary (same rows as the table)",
+    )
     ps.set_defaults(handler=_cmd_trace_summarize)
+
+    p = sub.add_parser(
+        "profile",
+        help="hierarchical work profiles: record, render, and diff span trees",
+    )
+    profile_sub = p.add_subparsers(dest="profile_command", required=True)
+
+    pp = profile_sub.add_parser(
+        "record",
+        help="aggregate a trace file — or a freshly traced bench workload — "
+        "into a profile artifact",
+    )
+    pp.add_argument(
+        "target",
+        help="a trace file (.jsonl/.json) or a registered bench workload name",
+    )
+    pp.add_argument("--out", required=True, metavar="FILE",
+                    help="profile artifact path, e.g. PROFILE_main.json")
+    _add_jobs_flag(pp)
+    pp.set_defaults(handler=_cmd_profile_record)
+
+    pp = profile_sub.add_parser(
+        "show", help="render a profile (table, JSON, folded stacks, speedscope)"
+    )
+    pp.add_argument("file", help="a profile artifact or a raw trace file")
+    pp.add_argument(
+        "--sort",
+        choices=("self", "total", "count"),
+        default="self",
+        help="table row order (default: self time)",
+    )
+    pp.add_argument("--limit", type=_nonneg_int, default=0, metavar="N",
+                    help="show at most N paths (0 = all)")
+    fmt_group = pp.add_mutually_exclusive_group()
+    fmt_group.add_argument("--json", action="store_true",
+                           help="emit the profile artifact JSON")
+    fmt_group.add_argument("--folded", action="store_true",
+                           help="emit folded stacks (flamegraph.pl / inferno input)")
+    fmt_group.add_argument("--speedscope", action="store_true",
+                           help="emit a speedscope.app JSON document")
+    pp.add_argument(
+        "--metric",
+        default="self_us",
+        metavar="NAME",
+        help="folded-stack weight: self_us (default), count, or a work "
+        "counter name (only with --folded)",
+    )
+    pp.set_defaults(handler=_cmd_profile_show)
+
+    pp = profile_sub.add_parser(
+        "diff",
+        help="align two profiles by span path; non-zero exit on work drift",
+    )
+    pp.add_argument("base", help="baseline profile artifact (or trace file)")
+    pp.add_argument("new", help="candidate profile artifact (or trace file)")
+    pp.add_argument(
+        "--time-threshold",
+        type=_positive_float,
+        default=0.25,
+        metavar="FRAC",
+        help="relative self-time excess to flag (default 0.25 = +25%%)",
+    )
+    pp.set_defaults(handler=_cmd_profile_diff)
 
     p = sub.add_parser(
         "cache",
@@ -1198,6 +1433,21 @@ def build_parser() -> argparse.ArgumentParser:
     _add_runs_dir_flag(pr)
     pr.set_defaults(handler=_cmd_runs_report)
 
+    pr = runs_sub.add_parser(
+        "diff", help="profile-diff two recorded runs from their traces"
+    )
+    pr.add_argument("run_a", help="baseline run id, unique prefix, or 'latest'")
+    pr.add_argument("run_b", help="candidate run id, unique prefix, or 'latest'")
+    pr.add_argument(
+        "--time-threshold",
+        type=_positive_float,
+        default=0.25,
+        metavar="FRAC",
+        help="relative self-time excess to flag (default 0.25 = +25%%)",
+    )
+    _add_runs_dir_flag(pr)
+    pr.set_defaults(handler=_cmd_runs_diff)
+
     p = sub.add_parser(
         "bench",
         help="the performance ledger: run benchmark suites, diff artifacts",
@@ -1256,6 +1506,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit non-zero on: any regression (default), or only exact "
         "work-count drift / missing workloads (CI shared-runner policy)",
     )
+    pb.add_argument(
+        "--attribute",
+        action="store_true",
+        help="re-run drifted workloads under the tracer and name the span "
+        "subtrees whose work counts moved",
+    )
+    pb.add_argument(
+        "--attribution-out",
+        default=None,
+        metavar="FILE",
+        help="also write the attribution report as JSON (for CI artifacts)",
+    )
+    _add_jobs_flag(pb)
     pb.set_defaults(handler=_cmd_bench_compare)
 
     pb = bench_sub.add_parser(

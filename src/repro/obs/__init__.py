@@ -17,6 +17,10 @@ This package makes them observable from three angles:
   remains as a back-compat re-export), with a process-wide registry;
 * :mod:`repro.obs.summary` — reading traces back and rendering the
   per-span table behind ``repro trace summarize``;
+* :mod:`repro.obs.profile` — deterministic hierarchical work profiles
+  aggregated from trace spans (per-path self/total time and counters),
+  profile diffing, and span-level regression attribution behind
+  ``repro profile`` and ``repro bench compare --attribute``;
 * :mod:`repro.obs.bench` / :mod:`repro.obs.ledger` — the benchmark
   workload registry and the persistent performance ledger behind
   ``repro bench run / compare / baseline``;
@@ -68,10 +72,27 @@ from .progress import (
     progress_enabled,
     set_progress_interval,
 )
+from .profile import (
+    Profile,
+    ProfileDiff,
+    ProfileError,
+    ProfileFinding,
+    WorkAttribution,
+    attribute_work_drift,
+    build_profile,
+    diff_profiles,
+    load_profile,
+    record_workload_profile,
+    render_profile,
+    to_folded,
+    to_speedscope,
+    write_profile,
+)
 from .report import render_run_report
 from .runs import (
     RunRecorder,
     RunsError,
+    RunsSchemaError,
     current_run,
     gc_runs,
     list_runs,
@@ -80,7 +101,7 @@ from .runs import (
     runs_root,
     set_current_run,
 )
-from .summary import SpanRecord, load_trace, summarize_trace
+from .summary import SpanRecord, load_trace, summarize_trace, trace_summary
 from .tracer import (
     NULL_TRACER,
     NullTracer,
@@ -115,6 +136,7 @@ __all__ = [
     "HistogramSnapshot",
     "RunRecorder",
     "RunsError",
+    "RunsSchemaError",
     "current_run",
     "set_current_run",
     "runs_root",
@@ -129,6 +151,21 @@ __all__ = [
     "SpanRecord",
     "load_trace",
     "summarize_trace",
+    "trace_summary",
+    "Profile",
+    "ProfileDiff",
+    "ProfileError",
+    "ProfileFinding",
+    "WorkAttribution",
+    "build_profile",
+    "diff_profiles",
+    "load_profile",
+    "record_workload_profile",
+    "render_profile",
+    "attribute_work_drift",
+    "to_folded",
+    "to_speedscope",
+    "write_profile",
     "Workload",
     "register_workload",
     "get_workload",

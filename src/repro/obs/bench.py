@@ -143,11 +143,18 @@ def suite_names() -> Iterable[str]:
     description="CountScheduler to silent consensus (E10 exact sampler)",
 )
 def _simulate_count() -> Dict[str, int]:
+    import os
+
     from ..protocols import binary_threshold
     from ..simulation import CountScheduler
 
+    # Chaos hook for the profile-smoke CI job: overriding the step
+    # budget below the pinned-seed convergence point (3200 interactions)
+    # forces deterministic work drift that `bench compare --attribute`
+    # must trace back to the `simulate.run` span subtree.
+    max_steps = int(os.environ.get("REPRO_BENCH_PERTURB_COUNT_MAX_STEPS") or 200_000)
     scheduler = CountScheduler(binary_threshold(8), seed=0)
-    result = scheduler.run({"x": 400}, max_steps=200_000)
+    result = scheduler.run({"x": 400}, max_steps=max_steps)
     return {
         "interactions": result.interactions,
         "converged": int(result.converged),
@@ -581,4 +588,101 @@ def _ensemble(jobs: int = 1) -> Dict[str, int]:
         "interactions": result.instrumentation.counter("interactions")
         if result.instrumentation is not None
         else 0,
+    }
+
+
+def _synthetic_frontier_trace() -> List[Dict[str, object]]:
+    """A deterministic sharded-frontier span forest (JSONL span shape).
+
+    Mimics what a quotiented Karp–Miller run at ``--jobs 8`` records:
+    per-round ``parallel.pool``/``parallel.task`` plumbing wrapping
+    counter-carrying work spans.  Pure arithmetic — no clock, no RNG —
+    so the aggregated profile is an exact reproducibility anchor.
+    """
+    spans: List[Dict[str, object]] = []
+    next_id = 1
+    rounds, shards = 40, 8
+    for rnd in range(rounds):
+        pool_id = next_id
+        next_id += 1
+        spans.append(
+            {
+                "name": "parallel.pool",
+                "id": pool_id,
+                "parent": None,
+                "depth": 0,
+                "start_us": rnd * 10_000.0,
+                "dur_us": 9_000.0,
+                "attrs": {"label": "frontier.round", "jobs": shards},
+                "counters": {},
+            }
+        )
+        for shard in range(shards):
+            task_id = next_id
+            next_id += 1
+            base_us = rnd * 10_000.0 + shard * 1_000.0
+            spans.append(
+                {
+                    "name": "parallel.task",
+                    "id": task_id,
+                    "parent": pool_id,
+                    "depth": 1,
+                    "start_us": base_us,
+                    "dur_us": 900.0,
+                    "attrs": {"task": shard},
+                    "counters": {},
+                }
+            )
+            work_id = next_id
+            next_id += 1
+            spans.append(
+                {
+                    "name": "frontier.expand",
+                    "id": work_id,
+                    "parent": task_id,
+                    "depth": 2,
+                    "start_us": base_us + 50.0,
+                    "dur_us": 800.0,
+                    "attrs": {},
+                    "counters": {
+                        "expansions": 3 + (rnd + shard) % 5,
+                        "nodes": 1 + (rnd * shard) % 7,
+                    },
+                }
+            )
+            spans.append(
+                {
+                    "name": "cache.lookup",
+                    "id": next_id,
+                    "parent": work_id,
+                    "depth": 3,
+                    "start_us": base_us + 100.0,
+                    "dur_us": 100.0,
+                    "attrs": {},
+                    "counters": {"hits": shard % 2},
+                }
+            )
+            next_id += 1
+    return spans
+
+
+@register_workload(
+    "obs.profile_aggregate",
+    description="hierarchical profile aggregation over a synthetic sharded frontier trace (E19)",
+)
+def _profile_aggregate() -> Dict[str, int]:
+    from .profile import build_profile
+
+    profile = build_profile(_synthetic_frontier_trace())
+    expansions = 0
+    hits = 0
+    for counters in profile.work_counts().values():
+        expansions += counters.get("expansions", 0)
+        hits += counters.get("hits", 0)
+    return {
+        "spans": profile.span_count,
+        "paths": len(profile.paths),
+        "spliced": profile.spliced_count,
+        "expansions": expansions,
+        "cache_hits": hits,
     }

@@ -221,6 +221,49 @@ def _metrics_html(metrics: Optional[Dict[str, Any]]) -> str:
     return "".join(parts) or "<p class=muted>All registries empty.</p>"
 
 
+def _profile_html(spans: List[SpanRecord], limit: int = 25) -> str:
+    """Top self-time profile paths aggregated from the run-local trace."""
+    from .profile import build_profile
+
+    if not spans:
+        return "<p class=muted>No spans recorded; nothing to profile.</p>"
+    profile = build_profile(spans)
+    stats = sorted(profile.paths.values(), key=lambda s: (-s.self_us, s.key))
+    note = ""
+    if limit and len(stats) > limit:
+        note = (
+            f"<p class=muted>Showing the top {limit} of {len(stats)} paths "
+            f"by self time.</p>"
+        )
+        stats = stats[:limit]
+    rows = []
+    for entry in stats:
+        counters = (
+            " ".join(f"{k}={v:,}" for k, v in sorted(entry.counters.items())) or "-"
+        )
+        rows.append(
+            (
+                entry.key,
+                f"{entry.count:,}",
+                _fmt_us(entry.total_us),
+                _fmt_us(entry.self_us),
+                _fmt_us(entry.median_us),
+                counters,
+            )
+        )
+    summary = (
+        f"<p class=muted>{profile.span_count} spans over {len(profile.paths)} "
+        f"paths ({profile.spliced_count} plumbing spans spliced, "
+        f"{profile.orphan_count} orphans). Diff against another run with "
+        f"<code>repro runs diff</code>.</p>"
+    )
+    return summary + _table(
+        ["path", "calls", "total", "self", "median/call", "work counters"],
+        rows,
+        numeric=(1, 2, 3, 4),
+    ) + note
+
+
 def _events_html(events: List[Dict[str, Any]]) -> str:
     if not events:
         return "<p class=muted>No events recorded.</p>"
@@ -305,6 +348,8 @@ def render_run_report(
 {_span_tree_html(spans)}
 <h2>Worker timelines</h2>
 {_worker_timelines_html(spans)}
+<h2>Work profile</h2>
+{_profile_html(spans)}
 <h2>Metrics</h2>
 {_metrics_html(manifest.get("metrics"))}
 <h2>Cache</h2>

@@ -57,6 +57,7 @@ __all__ = [
     "MANIFEST_KIND",
     "MANIFEST_SCHEMA",
     "RunsError",
+    "RunsSchemaError",
     "RunRecorder",
     "current_run",
     "set_current_run",
@@ -91,6 +92,16 @@ TERMINAL_STATUSES = frozenset({"ok", "failed", "killed"})
 
 class RunsError(ValueError):
     """Malformed registry state or an unresolvable run id."""
+
+
+class RunsSchemaError(RunsError):
+    """A manifest written by a newer build than this reader.
+
+    Raised (not silently skipped) by :func:`load_manifest` so direct
+    inspection of one run fails loudly; :func:`list_runs` downgrades it
+    to a warning — a registry shared between two repro versions must
+    stay listable from the older one.
+    """
 
 
 # ----------------------------------------------------------------------
@@ -423,6 +434,12 @@ def load_manifest(root: str, run_id: str) -> Dict[str, Any]:
         raise RunsError(f"manifest for run {run_id!r} is not valid JSON: {error}")
     if not isinstance(manifest, dict) or manifest.get("kind") != MANIFEST_KIND:
         raise RunsError(f"{path} is not a {MANIFEST_KIND} manifest")
+    schema = manifest.get("schema", 1)
+    if isinstance(schema, int) and schema > MANIFEST_SCHEMA:
+        raise RunsSchemaError(
+            f"run {run_id!r} has manifest schema {schema}; this build reads "
+            f"schema <= {MANIFEST_SCHEMA} (recorded by a newer repro?)"
+        )
     return manifest
 
 
@@ -431,8 +448,12 @@ def list_runs(root: str) -> List[Dict[str, Any]]:
 
     Unreadable or half-written entries are skipped, not fatal — the
     registry must stay listable while a run is mid-open or after a
-    crash left debris.
+    crash left debris.  Manifests from a *newer* schema are skipped
+    with a warning on stderr rather than raising: disagreeing builds
+    sharing one registry must both keep working.
     """
+    import sys
+
     if not os.path.isdir(root):
         return []
     manifests = []
@@ -441,6 +462,9 @@ def list_runs(root: str) -> List[Dict[str, Any]]:
             continue
         try:
             manifests.append(load_manifest(root, name))
+        except RunsSchemaError as error:
+            print(f"warning: skipping run: {error}", file=sys.stderr)
+            continue
         except RunsError:
             continue
     manifests.sort(key=lambda m: (m.get("started_unix") or 0.0, m.get("run_id", "")), reverse=True)

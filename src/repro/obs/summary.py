@@ -21,7 +21,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-__all__ = ["SpanRecord", "load_trace", "summarize_trace"]
+__all__ = ["SpanRecord", "load_trace", "trace_summary", "summarize_trace"]
 
 
 @dataclass(frozen=True)
@@ -119,22 +119,29 @@ _SORT_KEYS = {
 }
 
 
-def summarize_trace(records: List[SpanRecord], sort: str = "total") -> str:
-    """Render the per-span aggregate table.
+def trace_summary(records: List[SpanRecord], sort: str = "total") -> Dict[str, Any]:
+    """The machine-readable aggregate behind ``trace summarize --json``.
 
-    ``sort`` orders rows by ``total`` wall time (default), ``self``
-    time, or call ``count``.  Spans whose recorded parent is absent
-    from the file (a truncated trace from a killed run) are treated as
-    roots and reported in the header rather than raising.
+    Returns ``{"spans", "names", "max_depth", "orphans", "has_memory",
+    "rows"}``; each row carries the same quantities the rendered table
+    shows, unformatted (``name``, ``count``, ``total_us``, ``self_us``,
+    ``mean_us``, ``peak_kb``, ``counters``), in the requested sort
+    order — so CI and the attribution pipeline consume summaries
+    without re-parsing JSONL or scraping table text.
     """
-    from ..fmt import render_table
-
     if sort not in _SORT_KEYS:
         raise ValueError(
             f"sort must be one of {sorted(_SORT_KEYS)}, got {sort!r}"
         )
     if not records:
-        return "(empty trace: no finished spans)"
+        return {
+            "spans": 0,
+            "names": 0,
+            "max_depth": 0,
+            "orphans": 0,
+            "has_memory": False,
+            "rows": [],
+        }
 
     known_ids = {record.span_id for record in records if record.span_id is not None}
     orphans = sum(
@@ -174,15 +181,53 @@ def summarize_trace(records: List[SpanRecord], sort: str = "total") -> str:
     sort_key = _SORT_KEYS[sort]
     rows = []
     for name, entry in sorted(by_name.items(), key=lambda kv: -kv[1][sort_key]):
+        rows.append(
+            {
+                "name": name,
+                "count": entry["count"],
+                "total_us": round(entry["total_us"], 3),
+                "self_us": round(entry["self_us"], 3),
+                "mean_us": round(entry["total_us"] / entry["count"], 3),
+                "peak_kb": entry["peak_kb"],
+                "counters": dict(sorted(entry["counters"].items())),
+            }
+        )
+    return {
+        "spans": len(records),
+        "names": len(by_name),
+        "max_depth": max(record.depth for record in records),
+        "orphans": orphans,
+        "has_memory": has_memory,
+        "rows": rows,
+    }
+
+
+def summarize_trace(records: List[SpanRecord], sort: str = "total") -> str:
+    """Render the per-span aggregate table.
+
+    ``sort`` orders rows by ``total`` wall time (default), ``self``
+    time, or call ``count``.  Spans whose recorded parent is absent
+    from the file (a truncated trace from a killed run) are treated as
+    roots and reported in the header rather than raising.
+    """
+    from ..fmt import render_table
+
+    summary = trace_summary(records, sort=sort)
+    if not summary["rows"]:
+        return "(empty trace: no finished spans)"
+
+    has_memory = summary["has_memory"]
+    rows = []
+    for entry in summary["rows"]:
         counters = " ".join(
-            f"{key}={value}" for key, value in sorted(entry["counters"].items())
+            f"{key}={value}" for key, value in entry["counters"].items()
         )
         row = [
-            name,
+            entry["name"],
             entry["count"],
             f"{entry['total_us'] / 1e6:.3f}s",
             f"{entry['self_us'] / 1e6:.3f}s",
-            f"{entry['total_us'] / entry['count'] / 1e3:.2f}ms",
+            f"{entry['mean_us'] / 1e3:.2f}ms",
         ]
         if has_memory:
             peak = entry["peak_kb"]
@@ -194,10 +239,10 @@ def summarize_trace(records: List[SpanRecord], sort: str = "total") -> str:
         headers.append("peak mem")
     headers.append("counters")
     table = render_table(headers, rows)
-    deepest = max(record.depth for record in records)
+    orphans = summary["orphans"]
     header = (
-        f"{len(records)} spans, {len(by_name)} distinct names, "
-        f"max depth {deepest}"
+        f"{summary['spans']} spans, {summary['names']} distinct names, "
+        f"max depth {summary['max_depth']}"
     )
     if orphans:
         header += f", {orphans} orphan span{'s' if orphans != 1 else ''} (truncated trace?)"

@@ -1,0 +1,446 @@
+"""Differential work profiles (``repro.obs.profile``).
+
+The profile model's load-bearing promise is *determinism*: aggregation
+is a commutative fold over finished spans, so the profile is invariant
+under span arrival order (exporters flush out of order; workers race)
+and under parallel-worker shard adoption (``parallel.pool`` /
+``parallel.task`` plumbing is spliced out, so ``--jobs 1/2/4`` yield
+the same work-count profile for the same seed).  The hypothesis suite
+asserts both, the golden fixture pins the diff output against an
+injected synthetic regression, and the attribution tests drive the
+``bench compare --attribute`` path end-to-end using the deterministic
+perturbation hook in the ``simulate.count`` workload.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cli import main
+from repro.obs import profile as prof
+from repro.obs.summary import load_trace
+
+GOLDEN = os.path.join(os.path.dirname(os.path.abspath(__file__)), "golden")
+
+
+def _span(name, sid, parent, dur, counters=None, attrs=None, start=0.0, depth=0):
+    return {
+        "name": name,
+        "id": sid,
+        "parent": parent,
+        "depth": depth,
+        "start_us": float(start),
+        "dur_us": float(dur),
+        "attrs": attrs or {},
+        "counters": counters or {},
+    }
+
+
+_NAMES = ("frontier.expand", "cache.lookup", "pottier.step", "simulate.run")
+_COUNTERS = ("expansions", "nodes", "hits")
+
+
+@st.composite
+def span_forests(draw):
+    """Random well-formed span forests with integer durations.
+
+    Integer-valued durations keep float summation exact, so the
+    reorder-invariance assertion can demand bit-identical artifacts
+    rather than approximate equality.
+    """
+    count = draw(st.integers(min_value=1, max_value=24))
+    spans = []
+    for index in range(count):
+        parent = None
+        if index and draw(st.booleans()):
+            parent = draw(st.integers(min_value=1, max_value=index))
+        spans.append(
+            _span(
+                draw(st.sampled_from(_NAMES)),
+                index + 1,
+                parent,
+                draw(st.integers(min_value=0, max_value=10_000)),
+                draw(
+                    st.dictionaries(
+                        st.sampled_from(_COUNTERS),
+                        st.integers(min_value=0, max_value=50),
+                        max_size=2,
+                    )
+                ),
+                start=draw(st.integers(min_value=0, max_value=100_000)),
+            )
+        )
+    return spans
+
+
+class TestAggregation:
+    def test_known_tree_paths_and_self_time(self):
+        spans = [
+            _span("a", 1, None, 100, {"x": 5}),
+            _span("b", 2, 1, 60, {"y": 2}),
+            _span("b", 3, 1, 20),
+        ]
+        profile = prof.build_profile(spans)
+        assert set(profile.paths) == {("a",), ("a", "b")}
+        a = profile.paths[("a",)]
+        assert a.total_us == 100.0
+        assert a.self_us == 20.0  # 100 - (60 + 20) from the two children
+        b = profile.paths[("a", "b")]
+        assert b.count == 2
+        assert b.total_us == 80.0
+        assert b.counters == {"y": 2}
+        assert profile.work_counts() == {"a": {"x": 5}, "a;b": {"y": 2}}
+
+    def test_plumbing_spliced_out_of_paths(self):
+        spans = [
+            _span("work", 1, None, 1000, {"n": 1}),
+            _span("parallel.pool", 2, 1, 900),
+            _span("parallel.task", 3, 2, 800),
+            _span("inner", 4, 3, 700, {"n": 7}),
+        ]
+        profile = prof.build_profile(spans)
+        assert set(profile.paths) == {("work",), ("work", "inner")}
+        assert profile.spliced_count == 2
+        assert profile.span_count == 2
+        # Self time still honours the RAW tree: the pool is `work`'s
+        # only direct child, so work's self time is 1000 - 900.
+        assert profile.paths[("work",)].self_us == 100.0
+
+    def test_orphans_root_their_subtree(self):
+        spans = [
+            _span("lost", 1, 999, 50, {"n": 3}),
+            _span("child", 2, 1, 10),
+        ]
+        profile = prof.build_profile(spans)
+        assert profile.orphan_count == 1
+        assert set(profile.paths) == {("lost",), ("lost", "child")}
+
+    def test_cycle_in_corrupt_trace_does_not_hang(self):
+        spans = [
+            _span("a", 1, 2, 10, {"n": 1}),
+            _span("b", 2, 1, 10),
+        ]
+        profile = prof.build_profile(spans)
+        # Both spans survive, rooted somewhere, with the counter intact.
+        assert profile.span_count == 2
+        assert sum(
+            c.get("n", 0) for c in profile.work_counts().values()
+        ) == 1
+
+    def test_empty_trace(self):
+        profile = prof.build_profile([])
+        assert profile.paths == {}
+        assert profile.span_count == 0
+
+    @given(span_forests(), st.randoms(use_true_random=False))
+    def test_invariant_under_arrival_order(self, spans, rng):
+        shuffled = list(spans)
+        rng.shuffle(shuffled)
+        original = prof.profile_to_dict(prof.build_profile(spans))
+        permuted = prof.profile_to_dict(prof.build_profile(shuffled))
+        assert original == permuted
+
+    @given(span_forests())
+    def test_work_counts_invariant_under_shard_adoption(self, spans):
+        """Wrapping the forest in pool/task plumbing changes nothing.
+
+        This is exactly what ``run_tasks`` does at ``--jobs N``: worker
+        shards re-export their spans under ``parallel.pool`` →
+        ``parallel.task`` containers with fresh ids.
+        """
+        offset = 10_000
+        pool = _span("parallel.pool", offset + 1, None, 0, attrs={"jobs": 2})
+        task = _span("parallel.task", offset + 2, offset + 1, 0, attrs={"task": 0})
+        adopted = [pool, task]
+        for span in spans:
+            moved = dict(span)
+            moved["id"] = span["id"] + offset + 2
+            moved["parent"] = (
+                offset + 2
+                if span["parent"] is None
+                else span["parent"] + offset + 2
+            )
+            adopted.append(moved)
+        direct = prof.build_profile(spans)
+        wrapped = prof.build_profile(adopted)
+        assert direct.work_counts() == wrapped.work_counts()
+        assert direct.span_count == wrapped.span_count
+        assert wrapped.spliced_count == direct.spliced_count + 2
+
+
+class TestArtifactIO:
+    def test_write_load_round_trip(self, tmp_path):
+        profile = prof.build_profile(
+            [_span("a", 1, None, 100, {"x": 5}), _span("b", 2, 1, 60)],
+            meta={"workload": "t"},
+        )
+        path = str(tmp_path / "p.json")
+        prof.write_profile(path, profile)
+        loaded = prof.load_profile(path)
+        assert prof.profile_to_dict(loaded) == prof.profile_to_dict(profile)
+
+    def test_load_profile_auto_detects_trace_files(self, tmp_path):
+        trace = str(tmp_path / "t.jsonl")
+        with open(trace, "w") as handle:
+            handle.write(json.dumps(dict(_span("a", 1, None, 5), type="span")) + "\n")
+        loaded = prof.load_profile(trace)
+        assert set(loaded.paths) == {("a",)}
+        assert loaded.meta["source_trace"] == trace
+
+    def test_load_rejects_newer_schema(self, tmp_path):
+        path = str(tmp_path / "p.json")
+        with open(path, "w") as handle:
+            json.dump({"kind": prof.PROFILE_KIND, "schema": 99, "paths": {}}, handle)
+        with pytest.raises(prof.ProfileError, match="schema"):
+            prof.load_profile(path)
+
+    def test_folded_stacks(self):
+        profile = prof.build_profile(
+            [_span("a", 1, None, 100, {"x": 5}), _span("b", 2, 1, 60)]
+        )
+        lines = prof.to_folded(profile).splitlines()
+        assert lines == ["a 40", "a;b 60"]
+        by_counter = prof.to_folded(profile, metric="x").splitlines()
+        assert by_counter == ["a 5"]
+
+    def test_speedscope_document_is_consistent(self):
+        profile = prof.build_profile(
+            [_span("a", 1, None, 100), _span("b", 2, 1, 60)]
+        )
+        document = prof.to_speedscope(profile)
+        frames = document["shared"]["frames"]
+        inner = document["profiles"][0]
+        assert len(inner["samples"]) == len(inner["weights"])
+        for stack in inner["samples"]:
+            for frame_index in stack:
+                assert 0 <= frame_index < len(frames)
+        assert inner["endValue"] == sum(inner["weights"])
+
+
+class TestDiff:
+    def _golden(self, name):
+        return prof.build_profile(load_trace(os.path.join(GOLDEN, name)))
+
+    def test_golden_injected_regression_is_attributed(self):
+        base = self._golden("profile_base.jsonl")
+        regressed = self._golden("profile_regressed.jsonl")
+        diff = prof.diff_profiles(base, regressed)
+        assert diff.work_drift()
+        guilty = "analyze;analyze.certificates;pipeline.section4;coverability.karp_miller"
+        assert {f.path for f in diff.findings} == {guilty}
+        assert {f.kind for f in diff.findings} == {"work", "time"}
+        work = next(f for f in diff.findings if f.kind == "work")
+        assert "expansions: 119 -> 239" in work.detail
+        assert "nodes: 120 -> 240" in work.detail
+        rendered = diff.render()
+        assert guilty in rendered
+        assert "work drift" in rendered
+
+    def test_identical_profiles_have_no_findings(self):
+        base = self._golden("profile_base.jsonl")
+        again = self._golden("profile_base.jsonl")
+        diff = prof.diff_profiles(base, again)
+        assert diff.findings == []
+        assert not diff.work_drift()
+        assert "no significant differences" in diff.render()
+
+    def test_added_path_is_regression_only_with_work(self):
+        base = prof.build_profile([_span("a", 1, None, 10)])
+        with_work = prof.build_profile(
+            [_span("a", 1, None, 10), _span("b", 2, 1, 5, {"n": 1})]
+        )
+        diff = prof.diff_profiles(base, with_work)
+        assert diff.work_drift()
+        timed_only = prof.build_profile(
+            [_span("a", 1, None, 10), _span("b", 2, 1, 5)]
+        )
+        diff = prof.diff_profiles(base, timed_only)
+        assert not diff.work_drift()
+        assert [f.kind for f in diff.findings] == ["added"]
+        assert not diff.findings[0].regression
+
+    def test_time_jitter_below_floor_never_fires(self):
+        base = prof.build_profile([_span("a", 1, None, 1000)])
+        jittered = prof.build_profile([_span("a", 1, None, 1900)])
+        # +90% but under the 2ms absolute floor: not significant.
+        assert prof.diff_profiles(base, jittered).findings == []
+
+
+class TestJobsDeterminism:
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    def test_work_count_profile_identical_across_jobs(self, jobs):
+        recording = prof.record_workload_profile("enumeration.bb2", jobs=jobs)
+        baseline = prof.record_workload_profile("enumeration.bb2", jobs=1)
+        assert recording.work == baseline.work
+        assert recording.profile.work_counts() == baseline.profile.work_counts()
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            prof.record_workload_profile("no.such.workload")
+
+
+def _artifact(interactions, converged):
+    return {
+        "workloads": {
+            "simulate.count": {
+                "work": {
+                    "interactions": interactions,
+                    "converged": converged,
+                    "simulate.run.interactions": interactions,
+                }
+            }
+        }
+    }
+
+
+class TestAttribution:
+    def test_perturbed_drift_names_the_guilty_subtree(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_PERTURB_COUNT_MAX_STEPS", "1600")
+        attribution = prof.attribute_work_drift(
+            _artifact(3200, 1), _artifact(1600, 0)
+        )
+        assert "simulate.run" in attribution.guilty_paths()
+        span_entry = next(
+            e for e in attribution.entries if e.key == "simulate.run.interactions"
+        )
+        assert span_entry.fresh_value == 1600
+        assert ("simulate.run", "interactions", 1600) in span_entry.paths
+        rendered = attribution.render()
+        assert "guilty subtree: simulate.run" in rendered
+
+    def test_unreproduced_drift_becomes_a_note(self):
+        # No perturbation: the fresh re-run matches the baseline, so the
+        # recorded drift must be reported as unreproduced, not blamed.
+        attribution = prof.attribute_work_drift(
+            _artifact(3200, 1), _artifact(1600, 0)
+        )
+        assert attribution.entries == []
+        assert any("did not reproduce" in note for note in attribution.notes)
+
+    def test_no_drift_attributes_nothing(self):
+        attribution = prof.attribute_work_drift(
+            _artifact(3200, 1), _artifact(3200, 1)
+        )
+        assert attribution.entries == []
+        assert attribution.notes == []
+        assert "no work drift" in attribution.render()
+
+    def test_unregistered_workload_is_noted(self):
+        base = {"workloads": {"ghost": {"work": {"n": 1}}}}
+        new = {"workloads": {"ghost": {"work": {"n": 2}}}}
+        attribution = prof.attribute_work_drift(base, new)
+        assert attribution.entries == []
+        assert any("not registered" in note for note in attribution.notes)
+
+
+class TestCli:
+    def test_record_show_diff_round_trip(self, tmp_path, capsys):
+        trace = str(tmp_path / "t.jsonl")
+        with open(trace, "w") as handle:
+            for span in (
+                dict(_span("a", 1, None, 5000, {"x": 5}), type="span"),
+                dict(_span("b", 2, 1, 1000), type="span"),
+            ):
+                handle.write(json.dumps(span) + "\n")
+        out = str(tmp_path / "p.json")
+        assert main(["profile", "record", trace, "--out", out]) == 0
+        assert "2 paths" in capsys.readouterr().out
+        assert main(["profile", "show", out]) == 0
+        assert "a;b" in capsys.readouterr().out
+        assert main(["profile", "diff", out, out]) == 0
+        assert "no significant differences" in capsys.readouterr().out
+
+    def test_record_workload_and_json_show(self, tmp_path, capsys):
+        out = str(tmp_path / "p.json")
+        assert main(["profile", "record", "obs.profile_aggregate", "--out", out]) == 0
+        capsys.readouterr()
+        assert main(["profile", "show", out, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == prof.PROFILE_KIND
+
+    def test_diff_exits_nonzero_on_work_drift(self, capsys):
+        base = os.path.join(GOLDEN, "profile_base.jsonl")
+        regressed = os.path.join(GOLDEN, "profile_regressed.jsonl")
+        assert main(["profile", "diff", base, regressed]) == 1
+        out = capsys.readouterr().out
+        assert "coverability.karp_miller" in out
+        assert "FAIL" in out
+
+    def test_show_folded_and_speedscope(self, tmp_path, capsys):
+        trace = str(tmp_path / "t.jsonl")
+        with open(trace, "w") as handle:
+            handle.write(json.dumps(dict(_span("a", 1, None, 5000), type="span")) + "\n")
+        assert main(["profile", "show", trace, "--folded"]) == 0
+        assert capsys.readouterr().out == "a 5000\n"
+        assert main(["profile", "show", trace, "--speedscope"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["$schema"].startswith("https://www.speedscope.app")
+
+    def test_record_unknown_workload_fails_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown workload"):
+            main(["profile", "record", "no.such.workload",
+                  "--out", str(tmp_path / "p.json")])
+
+    def test_trace_summarize_json(self, tmp_path, capsys):
+        trace = str(tmp_path / "t.jsonl")
+        with open(trace, "w") as handle:
+            handle.write(
+                json.dumps(dict(_span("a", 1, None, 5000, {"x": 3}), type="span"))
+                + "\n"
+            )
+        assert main(["trace", "summarize", trace, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spans"] == 1
+        assert payload["rows"][0]["name"] == "a"
+        assert payload["rows"][0]["counters"] == {"x": 3}
+
+    def test_bench_compare_attribute_end_to_end(self, tmp_path, monkeypatch, capsys):
+        """The profile-smoke scenario: perturbed budget → named subtree."""
+        seed_path = os.path.join(
+            os.path.dirname(GOLDEN), "..", "benchmarks", "baselines", "BENCH_seed.json"
+        )
+        with open(seed_path) as handle:
+            base = json.load(handle)
+        drifted = json.loads(json.dumps(base))
+        work = drifted["workloads"]["simulate.count"]["work"]
+        work["interactions"] = 1600
+        work["converged"] = 0
+        work["simulate.run.interactions"] = 1600
+        base_path = str(tmp_path / "base.json")
+        new_path = str(tmp_path / "new.json")
+        for path, artifact in ((base_path, base), (new_path, drifted)):
+            with open(path, "w") as handle:
+                json.dump(artifact, handle)
+        monkeypatch.setenv("REPRO_BENCH_PERTURB_COUNT_MAX_STEPS", "1600")
+        attribution_out = str(tmp_path / "attr.json")
+        code = main(
+            ["bench", "compare", base_path, new_path, "--fail-on", "work",
+             "--attribute", "--attribution-out", attribution_out]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "guilty subtree: simulate.run" in out
+        with open(attribution_out) as handle:
+            payload = json.load(handle)
+        assert payload["kind"] == "repro-work-attribution"
+        assert any(
+            entry["paths"] and entry["paths"][0]["path"] == "simulate.run"
+            for entry in payload["entries"]
+        )
+
+
+class TestWorkloadRegistration:
+    def test_profile_aggregate_workload_is_deterministic(self):
+        from repro.obs.bench import get_workload
+
+        workload = get_workload("obs.profile_aggregate")
+        first = workload.run()
+        second = workload.run()
+        assert first == second
+        assert first["spans"] == 640
+        assert first["paths"] == 2
+        assert first["expansions"] == 1600

@@ -198,6 +198,51 @@ class TestRegistryReading:
         assert (status, stale) == ("running", False)
         recorder.finalize("ok", exit_code=0)
 
+    def test_newer_schema_manifest_raises_and_list_skips(self, runs_dir, capsys):
+        recorder = _open(runs_dir)
+        recorder.finalize("ok", exit_code=0)
+        newer = _open(runs_dir)
+        newer.finalize("ok", exit_code=0)
+        manifest = runlog.load_manifest(runs_dir, newer.run_id)
+        manifest["schema"] = runlog.MANIFEST_SCHEMA + 1
+        runlog._atomic_write_json(
+            os.path.join(newer.directory, runlog.MANIFEST_NAME), manifest
+        )
+        with pytest.raises(runlog.RunsSchemaError, match="newer"):
+            runlog.load_manifest(runs_dir, newer.run_id)
+        # The listing degrades to a warning instead of dying on the
+        # one futuristic entry; older runs still list fine.
+        manifests = runlog.list_runs(runs_dir)
+        assert [m["run_id"] for m in manifests] == [recorder.run_id]
+        assert "skipping run" in capsys.readouterr().err
+
+    def test_list_cli_shows_latency_quantiles(self, runs_dir, capsys):
+        from repro.obs import clear_registry, get_metrics
+
+        clear_registry()
+        metrics = get_metrics("spans")
+        for duration in (1000.0, 2000.0, 3000.0):
+            metrics.observe("work", duration)
+        recorder = _open(runs_dir)
+        recorder.finalize("ok", exit_code=0)
+        clear_registry()
+        assert main(["runs", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "p50" in out and "p99" in out
+        # The busiest histogram's quantiles land in the row (µs → ms).
+        assert "2.0ms" in out
+
+    def test_list_cli_dashes_without_histograms(self, runs_dir, capsys):
+        recorder = _open(runs_dir)
+        recorder.finalize("ok", exit_code=0)
+        assert main(["runs", "list"]) == 0
+        row = [
+            line
+            for line in capsys.readouterr().out.splitlines()
+            if recorder.run_id in line
+        ][0]
+        assert "| -" in row
+
 
 class TestGc:
     def _finished_run(self, root, started=None):
@@ -316,6 +361,26 @@ class TestTailing:
 
 
 class TestCliRecording:
+    def test_runs_diff_compares_two_recorded_runs(self, runs_dir, capsys):
+        assert main(["analyze", "binary:3", "--max-input", "4"]) == 0
+        assert main(["simulate", "binary:4", "--input", "20", "--seed", "1"]) == 0
+        manifests = runlog.list_runs(runs_dir)
+        assert len(manifests) == 2
+        base_id, new_id = manifests[1]["run_id"], manifests[0]["run_id"]
+        capsys.readouterr()
+        # analyze's span forest vs simulate's: work-carrying paths
+        # appear/disappear, so the diff gates (exit 1) and names them.
+        assert main(["runs", "diff", base_id, new_id]) == 1
+        out = capsys.readouterr().out
+        assert f"run {base_id}" in out
+        assert "simulate.run" in out
+
+    def test_runs_diff_same_run_is_clean(self, runs_dir, capsys):
+        assert main(["analyze", "binary:3", "--max-input", "4"]) == 0
+        capsys.readouterr()
+        assert main(["runs", "diff", "latest", "latest"]) == 0
+        assert "no significant differences" in capsys.readouterr().out
+
     def test_analyze_records_ok_run_with_trace_and_metrics(self, runs_dir, capsys):
         code = main(["analyze", "binary:3", "--max-input", "4"])
         assert code == 0
