@@ -723,7 +723,14 @@ def _cmd_trace_summarize(args) -> int:
 def _cmd_profile_record(args) -> int:
     from .obs import profile as prof
 
+    # File-vs-workload is decided by existence on disk; say which way
+    # it went so a stray file shadowing a workload name is visible.
     if os.path.exists(args.target):
+        print(
+            f"record: {args.target!r} exists on disk; aggregating it as a "
+            "trace file",
+            file=sys.stderr,
+        )
         try:
             records = load_trace(args.target)
         except (OSError, ValueError) as error:
@@ -732,6 +739,11 @@ def _cmd_profile_record(args) -> int:
             records, meta={"source_trace": os.path.abspath(args.target)}
         )
     else:
+        print(
+            f"record: {args.target!r} is not a file; recording the registered "
+            "bench workload",
+            file=sys.stderr,
+        )
         try:
             recording = prof.record_workload_profile(
                 args.target, jobs=resolve_jobs(args.jobs)
@@ -760,11 +772,13 @@ def _load_profile_arg(path: str):
 def _cmd_profile_show(args) -> int:
     from .obs import profile as prof
 
+    if args.metric is not None and not args.folded:
+        raise SystemExit("error: --metric only applies to --folded output")
     profile = _load_profile_arg(args.file)
     if args.json:
         print(json.dumps(prof.profile_to_dict(profile), indent=2, sort_keys=True))
     elif args.folded:
-        sys.stdout.write(prof.to_folded(profile, metric=args.metric))
+        sys.stdout.write(prof.to_folded(profile, metric=args.metric or "self_us"))
     elif args.speedscope:
         print(json.dumps(prof.to_speedscope(profile), indent=1))
     else:
@@ -1340,10 +1354,10 @@ def build_parser() -> argparse.ArgumentParser:
                            help="emit a speedscope.app JSON document")
     pp.add_argument(
         "--metric",
-        default="self_us",
+        default=None,
         metavar="NAME",
         help="folded-stack weight: self_us (default), count, or a work "
-        "counter name (only with --folded)",
+        "counter name (requires --folded)",
     )
     pp.set_defaults(handler=_cmd_profile_show)
 

@@ -564,12 +564,20 @@ class ProfileDiff:
 
 
 def _time_significant(
-    base_us: float, new_us: float, base_mad: float, new_mad: float, threshold: float
+    base_us: float,
+    new_us: float,
+    base_mad: float,
+    new_mad: float,
+    threshold: float,
+    count: int = 1,
 ) -> bool:
     delta = new_us - base_us
     if delta <= max(_TIME_FLOOR_US, threshold * base_us):
         return False
-    return delta > _MAD_SIGMA * (base_mad + new_mad) + _TIME_FLOOR_US
+    # self_us is summed over every call on the path, so per-call MAD
+    # must be scaled by the call count or the guard underestimates
+    # aggregate jitter exactly where it accumulates most.
+    return delta > _MAD_SIGMA * max(count, 1) * (base_mad + new_mad) + _TIME_FLOOR_US
 
 
 def diff_profiles(
@@ -639,9 +647,10 @@ def diff_profiles(
             )
             verdicts.append("work drift")
 
+        calls = max(stats_base.count, stats_new.count)
         if _time_significant(
             stats_base.self_us, stats_new.self_us,
-            stats_base.mad_us, stats_new.mad_us, time_threshold,
+            stats_base.mad_us, stats_new.mad_us, time_threshold, calls,
         ):
             ratio = stats_new.self_us / max(stats_base.self_us, 1e-9)
             diff.findings.append(
@@ -656,7 +665,7 @@ def diff_profiles(
             verdicts.append(f"time {ratio:.2f}x")
         elif _time_significant(
             stats_new.self_us, stats_base.self_us,
-            stats_new.mad_us, stats_base.mad_us, time_threshold,
+            stats_new.mad_us, stats_base.mad_us, time_threshold, calls,
         ):
             ratio = stats_base.self_us / max(stats_new.self_us, 1e-9)
             diff.findings.append(
@@ -756,9 +765,9 @@ class AttributionEntry:
     # each: (path key, counter name, fresh per-path value)
 
     def render_lines(self) -> List[str]:
-        lines = [
-            f"  {self.key}: baseline {self.base_value} -> fresh {self.fresh_value}"
-        ]
+        base = "absent" if self.base_value is None else self.base_value
+        fresh = "absent" if self.fresh_value is None else self.fresh_value
+        lines = [f"  {self.key}: baseline {base} -> fresh {fresh}"]
         if self.paths:
             for path, counter, value in self.paths:
                 lines.append(f"    guilty subtree: {path}  ({counter}={value})")
@@ -868,10 +877,13 @@ def attribute_work_drift(
             continue
         work_base = base_workloads[name].get("work", {})
         work_new = new_workloads[name].get("work", {})
+        # Union, not intersection: a work key appearing in or vanishing
+        # from a ledger entry is drift exactly like a changed count
+        # (diff_profiles treats added/removed work paths the same way).
         drifted = sorted(
             key
-            for key in set(work_base) & set(work_new)
-            if work_base[key] != work_new[key]
+            for key in set(work_base) | set(work_new)
+            if work_base.get(key) != work_new.get(key)
         )
         if not drifted:
             continue
@@ -887,9 +899,10 @@ def attribute_work_drift(
             base_value = work_base.get(key)
             fresh_value = recording.work.get(key)
             if fresh_value == base_value:
+                shown = "absent" if base_value is None else base_value
                 attribution.notes.append(
                     f"{name}: {key} matched the baseline on the fresh re-run "
-                    f"({base_value}); the recorded drift did not reproduce"
+                    f"({shown}); the recorded drift did not reproduce"
                 )
                 continue
             attribution.entries.append(

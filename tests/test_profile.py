@@ -336,6 +336,37 @@ class TestAttribution:
         assert attribution.entries == []
         assert any("not registered" in note for note in attribution.notes)
 
+    def test_removed_work_key_is_drift(self):
+        # A key that vanishes from the ledger entry is drift like any
+        # changed count: the workload is re-run and the key attributed.
+        base = {
+            "workloads": {
+                "obs.profile_aggregate": {
+                    "work": {"obs.profile_aggregate.paths": 6, "ghost.counter": 7}
+                }
+            }
+        }
+        new = {
+            "workloads": {
+                "obs.profile_aggregate": {"work": {"obs.profile_aggregate.paths": 6}}
+            }
+        }
+        attribution = prof.attribute_work_drift(base, new)
+        entry = next(e for e in attribution.entries if e.key == "ghost.counter")
+        assert entry.base_value == 7
+        assert entry.fresh_value is None
+        assert "baseline 7 -> fresh absent" in attribution.render()
+
+    def test_malformed_perturb_override_fails_loudly(self, monkeypatch):
+        from repro.obs.bench import get_workload
+
+        monkeypatch.setenv("REPRO_BENCH_PERTURB_COUNT_MAX_STEPS", "soon")
+        with pytest.raises(ValueError, match="REPRO_BENCH_PERTURB_COUNT_MAX_STEPS"):
+            get_workload("simulate.count").fn()
+        monkeypatch.setenv("REPRO_BENCH_PERTURB_COUNT_MAX_STEPS", "-5")
+        with pytest.raises(ValueError, match="must be positive"):
+            get_workload("simulate.count").fn()
+
 
 class TestCli:
     def test_record_show_diff_round_trip(self, tmp_path, capsys):
@@ -384,6 +415,23 @@ class TestCli:
         with pytest.raises(SystemExit, match="unknown workload"):
             main(["profile", "record", "no.such.workload",
                   "--out", str(tmp_path / "p.json")])
+
+    def test_record_announces_its_interpretation(self, tmp_path, capsys):
+        trace = str(tmp_path / "t.jsonl")
+        with open(trace, "w") as handle:
+            handle.write(json.dumps(dict(_span("a", 1, None, 5000), type="span")) + "\n")
+        assert main(["profile", "record", trace, "--out", str(tmp_path / "p.json")]) == 0
+        assert "aggregating it as a trace file" in capsys.readouterr().err
+        assert main(["profile", "record", "obs.profile_aggregate",
+                     "--out", str(tmp_path / "q.json")]) == 0
+        assert "recording the registered bench workload" in capsys.readouterr().err
+
+    def test_show_metric_requires_folded(self, tmp_path):
+        trace = str(tmp_path / "t.jsonl")
+        with open(trace, "w") as handle:
+            handle.write(json.dumps(dict(_span("a", 1, None, 5000), type="span")) + "\n")
+        with pytest.raises(SystemExit, match="--metric only applies"):
+            main(["profile", "show", trace, "--metric", "count"])
 
     def test_trace_summarize_json(self, tmp_path, capsys):
         trace = str(tmp_path / "t.jsonl")
