@@ -68,14 +68,17 @@ from .core import (
 )
 from .protocols import (
     ProtocolBuilder,
+    approximate_majority,
     binary_threshold,
     conjunction,
     disjunction,
+    double_exp_threshold,
     example_2_1_binary,
     example_2_1_flat,
     flat_threshold,
     leader_binary_threshold,
     leader_unary_threshold,
+    leroux_leader_threshold,
     majority_protocol,
     modulo_protocol,
     negation,
@@ -110,6 +113,9 @@ __all__ = [
     "modulo_protocol",
     "leader_unary_threshold",
     "leader_binary_threshold",
+    "approximate_majority",
+    "double_exp_threshold",
+    "leroux_leader_threshold",
     "negation",
     "conjunction",
     "disjunction",

@@ -25,6 +25,10 @@ Protocol arguments are either a path to a JSON file produced by
     ``binary:ETA`` ``flat:ETA`` ``majority`` ``modulo:R:M``
     ``leader-unary:ETA`` ``leader-binary:ETA`` ``election``
     ``linear:PREDICATE`` (a single threshold atom)
+    ``approx-majority`` ``double-exp:K`` ``leroux-leader:K``
+
+The scenario library bundles the curated families with declared
+property checks (``repro scenarios list|run|check``).
 """
 
 from __future__ import annotations
@@ -38,7 +42,7 @@ from typing import Iterator, List, Optional
 
 from .analysis.verification import verify_protocol
 from .bounds.pipeline import section4_certificate, section5_certificate
-from .cache import CacheStore, active_store, use_store
+from .cache import CacheStore, active_store, protocol_fingerprint, use_store
 from .core.errors import ReproError
 from .core.multiset import Multiset
 from .core.parser import parse_predicate
@@ -62,16 +66,20 @@ from .obs import (
 from .obs import runs as runlog
 from .obs.report import render_report_for_run
 from .protocols import (
+    approximate_majority,
     binary_threshold,
     compile_predicate,
+    double_exp_threshold,
     flat_threshold,
     leader_binary_threshold,
     leader_unary_threshold,
+    leroux_leader_threshold,
     majority_protocol,
     modulo_protocol,
 )
 from .parallel import resolve_jobs
 from .protocols.leader_election import leader_election
+from .scenarios import SCENARIOS, get_scenario, run_checks
 from .simulation import CountScheduler, check_conformance
 from .simulation.ensembles import run_ensemble
 
@@ -102,11 +110,18 @@ def resolve_protocol(spec: str) -> PopulationProtocol:
             return leader_election()
         if name == "linear":
             return compile_predicate(parse_predicate(argument))
+        if name == "approx-majority":
+            return approximate_majority()
+        if name == "double-exp":
+            return double_exp_threshold(int(argument))
+        if name == "leroux-leader":
+            return leroux_leader_threshold(int(argument))
     except (ValueError, ReproError) as error:
         raise SystemExit(f"error: cannot build {spec!r}: {error}")
     raise SystemExit(
         f"error: {spec!r} is neither a file nor a builtin "
-        "(binary:N flat:N majority modulo:R:M leader-unary:N leader-binary:N election linear:PRED)"
+        "(binary:N flat:N majority modulo:R:M leader-unary:N leader-binary:N "
+        "election linear:PRED approx-majority double-exp:K leroux-leader:K)"
     )
 
 
@@ -277,6 +292,8 @@ def _should_record(args) -> bool:
     command = getattr(args, "command", None)
     if command == "bench":
         return getattr(args, "bench_command", None) in ("run", "baseline")
+    if command == "scenarios":
+        return getattr(args, "scenarios_command", None) in ("run", "check")
     return command in _RECORDED_COMMANDS
 
 
@@ -294,6 +311,8 @@ def _open_run(args, argv: Optional[List[str]]) -> Optional["runlog.RunRecorder"]
     command = args.command
     if command == "bench":
         command = f"bench {args.bench_command}"
+    elif command == "scenarios":
+        command = f"scenarios {args.scenarios_command}"
     try:
         recorder = runlog.RunRecorder.open(
             root,
@@ -1155,6 +1174,128 @@ def _cmd_bench_list(args) -> int:
     return 0
 
 
+def _selected_scenarios(args):
+    """The (scenario, instance) pairs a ``scenarios`` subcommand targets."""
+    if args.scenario == "all":
+        selected = list(SCENARIOS.values())
+    else:
+        try:
+            selected = [get_scenario(args.scenario)]
+        except KeyError as error:
+            raise SystemExit(f"error: {error.args[0]}")
+    instance_label = getattr(args, "instance", None)
+    if instance_label is not None and len(selected) != 1:
+        raise SystemExit("error: --instance needs a single named scenario, not 'all'")
+    pairs = []
+    for scenario in selected:
+        if instance_label is not None:
+            try:
+                pairs.append((scenario, scenario.instance(instance_label)))
+            except KeyError as error:
+                raise SystemExit(f"error: {error.args[0]}")
+        elif getattr(args, "smallest", False):
+            pairs.append((scenario, scenario.smallest))
+        else:
+            pairs.extend((scenario, instance) for instance in scenario.instances)
+    return pairs
+
+
+def _cmd_scenarios_list(args) -> int:
+    from .fmt import render_table
+
+    rows = []
+    for scenario in SCENARIOS.values():
+        for instance in scenario.instances:
+            protocol = instance.build()
+            rows.append(
+                [
+                    scenario.name,
+                    instance.label,
+                    str(len(protocol.states)),
+                    str(len(protocol.transitions)),
+                    str(len(instance.checks)),
+                    "; ".join(scenario.references),
+                ]
+            )
+    print(render_table(["scenario", "instance", "states", "rules", "checks", "references"], rows))
+    return 0
+
+
+def _run_scenario_instance(args, scenario, instance, *, conformance: bool) -> dict:
+    """One instance through the pipeline; returns the JSON-able record."""
+    protocol = instance.build()
+    record = {
+        "scenario": scenario.name,
+        "instance": instance.label,
+        "protocol": protocol.name,
+        "fingerprint": protocol_fingerprint(protocol),
+    }
+    if conformance:
+        report = check_conformance(
+            protocol,
+            scenario.conformance_input,
+            samples=args.samples,
+            seed=args.seed,
+            compare_verdicts=scenario.compare_verdicts,
+            jobs=args.jobs,
+        )
+        record["conformance_ok"] = report.ok
+    outcomes = run_checks(
+        protocol,
+        instance.checks,
+        instance.options(jobs=args.jobs, quotient=args.quotient, seed=args.seed),
+    )
+    record["checks"] = [outcome.to_dict() for outcome in outcomes]
+    record["ok"] = all(outcome.passed for outcome in outcomes) and record.get(
+        "conformance_ok", True
+    )
+    return record
+
+
+def _print_scenario_record(record: dict) -> None:
+    print(f"== {record['scenario']} [{record['instance']}]  {record['protocol']}")
+    print(f"   fingerprint {record['fingerprint'][:16]}")
+    if "conformance_ok" in record:
+        verdict = "pass" if record["conformance_ok"] else "FAIL"
+        print(f"   conformance: {verdict}")
+    for outcome in record["checks"]:
+        verdict = "pass" if outcome["passed"] else "FAIL"
+        print(f"   {verdict:4}  {outcome['name']} = {outcome['source']}")
+        print(f"         {outcome['detail']}")
+        witness = outcome.get("witness")
+        if witness and witness["trace"]:
+            steps = " -> ".join(
+                "(" + ", ".join(f"{n}*{s}" if n > 1 else s for s, n in sorted(step.items())) + ")"
+                for step in witness["trace"]
+            )
+            print(f"         witness: {steps}")
+
+
+def _cmd_scenarios(args, *, conformance: bool) -> int:
+    records = [
+        _run_scenario_instance(args, scenario, instance, conformance=conformance)
+        for scenario, instance in _selected_scenarios(args)
+    ]
+    if args.json:
+        print(json.dumps(records, indent=2))
+    else:
+        for record in records:
+            _print_scenario_record(record)
+    failed = [r for r in records if not r["ok"]]
+    if failed and not args.json:
+        names = ", ".join(f"{r['scenario']}[{r['instance']}]" for r in failed)
+        print(f"FAILED: {names}", file=sys.stderr)
+    return 1 if failed else 0
+
+
+def _cmd_scenarios_run(args) -> int:
+    return _cmd_scenarios(args, conformance=True)
+
+
+def _cmd_scenarios_check(args) -> int:
+    return _cmd_scenarios(args, conformance=False)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse command tree (exposed for documentation tooling)."""
     parser = argparse.ArgumentParser(
@@ -1562,6 +1703,65 @@ def build_parser() -> argparse.ArgumentParser:
         "--suite", default=None, help="restrict to one suite (default: all)"
     )
     pb.set_defaults(handler=_cmd_bench_list)
+
+    p = sub.add_parser(
+        "scenarios",
+        help="scenario library: curated families with declared property checks",
+    )
+    scenarios_sub = p.add_subparsers(dest="scenarios_command", required=True)
+
+    ps = scenarios_sub.add_parser("list", help="registered scenarios and instances")
+    ps.set_defaults(handler=_cmd_scenarios_list)
+
+    def _add_scenario_selection(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument(
+            "scenario",
+            nargs="?",
+            default="all",
+            help="scenario name, or 'all' (the default)",
+        )
+        sp.add_argument(
+            "--instance",
+            default=None,
+            metavar="LABEL",
+            help="run one labelled instance (needs a named scenario)",
+        )
+        sp.add_argument(
+            "--smallest",
+            action="store_true",
+            help="only the smallest instance of each selected scenario",
+        )
+        sp.add_argument(
+            "--quotient",
+            action="store_true",
+            help="quotient symmetric configurations in the coverability checks "
+            "(verdicts are identical by contract)",
+        )
+        sp.add_argument("--seed", type=int, default=0, help="root RNG seed (default 0)")
+        sp.add_argument("--json", action="store_true", help="machine-readable output")
+        _add_jobs_flag(sp)
+        _add_obs_flags(sp)
+
+    ps = scenarios_sub.add_parser(
+        "run",
+        help="full pipeline per instance: conformance + declared checks",
+    )
+    _add_scenario_selection(ps)
+    ps.add_argument(
+        "--samples",
+        type=_positive_int,
+        default=400,
+        metavar="N",
+        help="conformance sample count per sub-check (default 400)",
+    )
+    ps.set_defaults(handler=_cmd_scenarios_run)
+
+    ps = scenarios_sub.add_parser(
+        "check",
+        help="declared property checks only (the CI smoke entry point)",
+    )
+    _add_scenario_selection(ps)
+    ps.set_defaults(handler=_cmd_scenarios_check)
 
     return parser
 

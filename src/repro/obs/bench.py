@@ -709,3 +709,41 @@ def _profile_aggregate() -> Dict[str, int]:
         "expansions": expansions,
         "cache_hits": hits,
     }
+
+
+def _scenario_counts(name: str) -> Dict[str, int]:
+    """Shared driver: the smallest instance's full check block.
+
+    The returned counts concatenate each check's verdict with its work
+    counters (inputs verified, reachability graph sizes, tree limits,
+    seeded ensemble trials), so any change in what a scenario check
+    *does* — not just how long it takes — shows up as work drift.
+    """
+    from ..scenarios import get_scenario, run_checks
+
+    instance = get_scenario(name).smallest
+    outcomes = run_checks(instance.build(), instance.checks, instance.options())
+    counts: Dict[str, int] = {
+        "checks": len(outcomes),
+        "checks_passed": sum(1 for outcome in outcomes if outcome.passed),
+    }
+    for outcome in outcomes:
+        for key, value in outcome.work.items():
+            counts[f"{outcome.name}.{key}"] = int(value)
+    return counts
+
+
+@register_workload(
+    "scenarios.approx_majority",
+    description="approx-majority scenario check block: exact sweeps + seeded vector ensemble (E20)",
+)
+def _scenarios_approx_majority() -> Dict[str, int]:
+    return _scenario_counts("approx-majority")
+
+
+@register_workload(
+    "scenarios.double_exp",
+    description="double-exp k=1 scenario check block: verification, stable slices, Section 4 (E20)",
+)
+def _scenarios_double_exp() -> Dict[str, int]:
+    return _scenario_counts("double-exp")

@@ -1,8 +1,10 @@
 """Verified protocol constructions: the lower-bound witnesses and baselines."""
 
+from .approx_majority import approximate_majority
 from .builders import ProtocolBuilder
 from .combinators import conjunction, disjunction, negation, product
 from .compiler import compile_predicate
+from .double_exp import double_exp_predicate, double_exp_threshold
 from .intervals import (
     exact_predicate,
     exact_protocol,
@@ -13,6 +15,7 @@ from .intervals import (
 )
 from .leader_election import leader_election, unique_leader_certified
 from .leaders import leader_binary_threshold, leader_unary_threshold
+from .leroux import leroux_leader_predicate, leroux_leader_threshold
 from .majority import majority_protocol
 from .modulo import modulo_protocol
 from .threshold_linear import linear_threshold, linear_threshold_predicate
@@ -30,6 +33,11 @@ __all__ = [
     "modulo_protocol",
     "leader_unary_threshold",
     "leader_binary_threshold",
+    "approximate_majority",
+    "double_exp_threshold",
+    "double_exp_predicate",
+    "leroux_leader_threshold",
+    "leroux_leader_predicate",
     "negation",
     "conjunction",
     "disjunction",

@@ -1,0 +1,64 @@
+"""The 3-state approximate-majority protocol of Angluin-Aspnes-Eisenstat.
+
+The protocol (from "A simple population protocol for fast robust
+approximate majority", DISC 2007) has three states: two opinions ``Y``
+and ``N`` plus a *blank* intermediate ``b``.  Rules:
+
+* ``Y, N -> Y, b``  — an opinion converts an opposing agent to blank;
+* ``Y, N -> N, b``  — the unordered pair fires either way, so the
+  protocol is genuinely *nondeterministic*: which opinion survives a
+  clash is a coin flip of the scheduler;
+* ``Y, b -> Y, Y``  — opinions recruit blanks;
+* ``N, b -> N, N``.
+
+With high probability a large population converges to the initial
+majority opinion in ``O(n log n)`` interactions — but only *with high
+probability*.  The protocol does **not** stably compute majority: from
+``Y, Y, N`` the scheduler may fire ``Y, N -> N, b`` twice and then
+``N, b -> N, N``, stabilising to the all-``N`` consensus even though
+``Y`` held the majority.  The scenario library uses exactly this
+wrong-consensus run as a negative-certificate regression: the
+``always consensus`` property check must *fail* with a concrete
+witness trace.
+
+Outputs: ``O(Y) = 1``, ``O(N) = O(b) = 0``.
+"""
+
+from __future__ import annotations
+
+from ..core.multiset import Multiset
+from ..core.predicates import majority as majority_predicate
+from ..core.protocol import PopulationProtocol, Transition
+
+__all__ = ["approximate_majority"]
+
+
+def approximate_majority(x: str = "x", y: str = "y") -> PopulationProtocol:
+    """The 3-state Angluin-Aspnes-Eisenstat approximate-majority protocol.
+
+    Parameters
+    ----------
+    x, y:
+        Names of the two input variables (mapped to the opinion states
+        ``Y`` and ``N`` respectively).
+
+    The returned protocol is nondeterministic (two transitions share
+    the pre-pair ``{Y, N}``) and does *not* stably compute ``x > y``;
+    see the module docstring.
+    """
+    if x == y:
+        raise ValueError(f"input variables must be distinct, got {x!r} twice")
+    transitions = (
+        Transition("Y", "N", "Y", "b"),
+        Transition("Y", "N", "N", "b"),
+        Transition("Y", "b", "Y", "Y"),
+        Transition("N", "b", "N", "N"),
+    )
+    return PopulationProtocol(
+        states=("Y", "N", "b"),
+        transitions=transitions,
+        leaders=Multiset(),
+        input_mapping={x: "Y", y: "N"},
+        output={"Y": 1, "N": 0, "b": 0},
+        name="approximate majority (3 states)",
+    )

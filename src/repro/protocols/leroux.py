@@ -1,0 +1,86 @@
+"""Leroux-style leader protocols with a certified unique-leader invariant.
+
+Leroux ("State complexity of protocols with leaders", arXiv:2109.15171)
+studies how a distinguished leader changes the state-complexity
+landscape: with leaders, ``O(log log n)``-ish state budgets reach
+thresholds that leaderless protocols provably cannot.  This module
+realises a small exactly-verifiable member of that regime:
+``leroux_leader_threshold(k)`` decides ``x >= 2^k`` with ``k + 5``
+states and a single leader.
+
+States: the leader ``L``; value tokens ``v0 .. v{k-1}`` where ``v_i``
+is worth ``2^i``; a full token ``w`` worth ``2^k``; a spent marker
+``0``; the accept state ``T``; and a poison state ``L2`` representing
+a double leader.  Rules:
+
+* ``v_i, v_i -> v_{i+1}, 0``  — equal powers combine (carry), with the
+  top carry ``v_{k-1}, v_{k-1} -> w, 0`` producing the full token;
+* ``L, w -> T, T``  — only the leader may convert a full token into
+  acceptance;
+* ``T, q -> T, T``  — acceptance floods the population;
+* ``L, L -> L2, L2``  — two leaders poison the run.
+
+With the intended single leader the pair ``{L, L}`` never forms, so
+``L2`` is uncoverable from every initial configuration — the scenario
+library pins this with a ``never reaches L2`` coverability check, a
+safety invariant in the spirit of Leroux's unique-leader arguments.
+Value conservation gives correctness exactly as in the double-exp
+family: ``w`` is producible iff ``x >= 2^k``, and without ``w`` the
+leader stays inert, so every fair execution stabilises to the correct
+consensus for ``x >= 2^k``.
+"""
+
+from __future__ import annotations
+
+from ..core.multiset import Multiset
+from ..core.predicates import Threshold, counting
+from ..core.protocol import PopulationProtocol, Transition
+
+__all__ = ["leroux_leader_threshold", "leroux_leader_predicate"]
+
+
+def leroux_leader_predicate(k: int, variable: str = "x") -> Threshold:
+    """The predicate ``x >= 2^k`` decided by :func:`leroux_leader_threshold`."""
+    if k < 1:
+        raise ValueError(f"exponent must be >= 1, got {k}")
+    return counting(2 ** k, variable)
+
+
+def leroux_leader_threshold(k: int, variable: str = "x") -> PopulationProtocol:
+    """The single-leader protocol deciding ``x >= 2^k``.
+
+    Parameters
+    ----------
+    k:
+        The exponent, ``k >= 1``.  The protocol has ``k + 5`` states
+        (tokens ``v0 .. v{k-1}`` plus ``L``, ``w``, ``0``, ``T``,
+        ``L2``) and one leader.
+    variable:
+        Name of the single input variable.
+    """
+    if k < 1:
+        raise ValueError(f"exponent must be >= 1, got {k}")
+
+    def token(i: int) -> str:
+        return f"v{i}"
+
+    states = ("L",) + tuple(token(i) for i in range(k)) + ("w", "0", "T", "L2")
+    transitions = []
+    for i in range(k - 1):
+        transitions.append(Transition(token(i), token(i), token(i + 1), "0"))
+    transitions.append(Transition(token(k - 1), token(k - 1), "w", "0"))
+    transitions.append(Transition("L", "w", "T", "T"))
+    for state in states:
+        if state != "T":
+            transitions.append(Transition("T", state, "T", "T"))
+    transitions.append(Transition("L", "L", "L2", "L2"))
+    output = {state: 0 for state in states}
+    output["T"] = 1
+    return PopulationProtocol(
+        states=states,
+        transitions=tuple(transitions),
+        leaders=Multiset({"L": 1}),
+        input_mapping={variable: token(0)},
+        output=output,
+        name=f"leroux leader threshold (k={k}, x >= {2 ** k})",
+    )

@@ -1,0 +1,500 @@
+"""A declarative property-check DSL for scenario protocols.
+
+A scenario declares what should hold of its protocol in a small
+``check`` block (the idiom of the LAbS examples in ``SNIPPETS.md``)::
+
+    check {
+        CorrectWhenUnopposed = always consensus 1 when y = 0
+        WrongConsensusReachable = fails always consensus 1 when x - y >= 1 and y >= 1
+        EventuallySilent = eventually silent
+        NoDoubleLeader = never reaches L2
+        StableWitness = stable consensus 1 from 4
+        UsuallyRight = usually consensus 1 given x=14,y=6 within 400 rate >= 0.6
+        Certified = certified section 4
+    }
+
+One named check per line.  The property forms, each compiled by
+:mod:`repro.scenarios.checks` onto existing machinery:
+
+``always consensus of PRED``
+    Exact verification against the Presburger predicate ``PRED``
+    (:func:`repro.analysis.verify_protocol` — every bottom SCC of
+    every small input is the right consensus).
+``always consensus B`` / ``always consensus B when PRED``
+    Exact verification that every small input (satisfying ``PRED``,
+    when given) stabilises to consensus ``B``.
+``eventually silent``
+    Every bottom SCC reachable from every small input is a single
+    silent configuration.
+``never reaches STATE``
+    Karp-Miller coverability with omega on the input states: ``STATE``
+    is not coverable from *any* initial configuration.
+``stable consensus B from SIZE``
+    The stable slice ``SC_B`` is non-empty at every population size
+    from ``SIZE`` up to the sweep bound.
+``usually consensus B given INPUT within TIME rate >= R``
+    A seeded vector-engine ensemble on ``INPUT`` reaches verdict ``B``
+    with empirical rate at least ``R`` inside parallel time ``TIME``.
+``certified section 4`` / ``certified section 5``
+    The corresponding certificate pipeline yields a checked
+    ``eta <= a`` certificate.
+
+Any property may be prefixed with ``fails``, asserting the inner check
+does *not* hold; for the consensus forms the refutation must carry a
+concrete counterexample witness (a reachable wrong-consensus bottom
+SCC), so a vacuously-failing checker cannot satisfy a ``fails`` check.
+
+Embedded predicates (``PRED``) use the grammar of
+:func:`repro.core.parser.parse_predicate` and always extend to the end
+of the line; ``#`` starts a comment.  :func:`parse_checks` and
+:func:`format_checks` round-trip: ``parse(format(cs)) == cs``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..core.parser import PredicateSyntaxError, parse_predicate
+
+__all__ = [
+    "ScenarioSyntaxError",
+    "Property",
+    "AlwaysConsensusOf",
+    "AlwaysConsensusValue",
+    "EventuallySilent",
+    "NeverReaches",
+    "StableConsensus",
+    "UsuallyConsensus",
+    "Certified",
+    "Fails",
+    "Check",
+    "parse_checks",
+    "format_checks",
+    "format_property",
+]
+
+
+class ScenarioSyntaxError(ValueError):
+    """Raised on malformed ``check`` blocks, with position information."""
+
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+_NAME_RE = re.compile(r"[A-Za-z_][A-Za-z_0-9]*")
+# Protocol state names are arbitrary strings ("0", "L2", "v0"); the DSL
+# accepts any whitespace-free token that cannot collide with the block
+# syntax or start a comment.
+_STATE_RE = re.compile(r"[^\s#{}=]+")
+_INPUT_RE = re.compile(r"[A-Za-z_][A-Za-z_0-9]*=\d+(?:,[A-Za-z_][A-Za-z_0-9]*=\d+)*")
+_NUMBER_RE = re.compile(r"\d+(?:\.\d+)?")
+
+
+def _normalise(text: str) -> str:
+    return " ".join(text.split())
+
+
+class Property:
+    """Base class for parsed check properties."""
+
+    kind = "property"
+
+
+@dataclass(frozen=True)
+class AlwaysConsensusOf(Property):
+    """``always consensus of PRED`` — exact verification against a predicate."""
+
+    predicate: str
+
+    kind = "always-of"
+
+    def __post_init__(self):
+        object.__setattr__(self, "predicate", _normalise(self.predicate))
+        parse_predicate(self.predicate)
+
+
+@dataclass(frozen=True)
+class AlwaysConsensusValue(Property):
+    """``always consensus B [when PRED]`` — every (matching) input stabilises to ``B``."""
+
+    value: int
+    when: Optional[str] = None
+
+    kind = "always-value"
+
+    def __post_init__(self):
+        if self.value not in (0, 1):
+            raise ValueError(f"consensus value must be 0 or 1, got {self.value}")
+        if self.when is not None:
+            object.__setattr__(self, "when", _normalise(self.when))
+            parse_predicate(self.when)
+
+
+@dataclass(frozen=True)
+class EventuallySilent(Property):
+    """``eventually silent`` — every bottom SCC is a single silent configuration."""
+
+    kind = "eventually-silent"
+
+
+@dataclass(frozen=True)
+class NeverReaches(Property):
+    """``never reaches STATE`` — the state is uncoverable from every input."""
+
+    state: str
+
+    kind = "never-reaches"
+
+    def __post_init__(self):
+        if not _STATE_RE.fullmatch(self.state):
+            raise ValueError(f"invalid state name {self.state!r}")
+
+
+@dataclass(frozen=True)
+class StableConsensus(Property):
+    """``stable consensus B from SIZE`` — ``SC_B`` non-empty at every swept size."""
+
+    value: int
+    from_size: int
+
+    kind = "stable-consensus"
+
+    def __post_init__(self):
+        if self.value not in (0, 1):
+            raise ValueError(f"consensus value must be 0 or 1, got {self.value}")
+        if self.from_size < 1:
+            raise ValueError(f"slice size must be >= 1, got {self.from_size}")
+
+
+@dataclass(frozen=True)
+class UsuallyConsensus(Property):
+    """``usually consensus B given INPUT within TIME rate >= R`` — statistical check."""
+
+    value: int
+    inputs: Tuple[Tuple[str, int], ...]
+    within: float
+    rate: float
+
+    kind = "usually"
+
+    def __post_init__(self):
+        if self.value not in (0, 1):
+            raise ValueError(f"consensus value must be 0 or 1, got {self.value}")
+        if not self.inputs:
+            raise ValueError("usually-consensus needs a non-empty input")
+        if not self.within > 0:
+            raise ValueError(f"time budget must be positive, got {self.within}")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be within [0, 1], got {self.rate}")
+
+    @property
+    def input_text(self) -> str:
+        return ",".join(f"{var}={count}" for var, count in self.inputs)
+
+
+@dataclass(frozen=True)
+class Certified(Property):
+    """``certified section 4|5`` — the certificate pipeline must succeed."""
+
+    section: int
+
+    kind = "certified"
+
+    def __post_init__(self):
+        if self.section not in (4, 5):
+            raise ValueError(f"certificate section must be 4 or 5, got {self.section}")
+
+
+@dataclass(frozen=True)
+class Fails(Property):
+    """``fails PROP`` — assert the inner property does *not* hold."""
+
+    inner: Property
+
+    kind = "fails"
+
+    def __post_init__(self):
+        if isinstance(self.inner, Fails):
+            raise ValueError("'fails' cannot be nested")
+
+
+@dataclass(frozen=True)
+class Check:
+    """One named property assertion from a ``check`` block."""
+
+    name: str
+    prop: Property
+
+    def __post_init__(self):
+        if not _NAME_RE.fullmatch(self.name):
+            raise ValueError(f"invalid check name {self.name!r}")
+
+
+# ----------------------------------------------------------------------
+# Formatting
+# ----------------------------------------------------------------------
+
+
+def _format_number(value: float) -> str:
+    if float(value) == int(value):
+        return str(int(value))
+    return repr(float(value))
+
+
+def format_property(prop: Property) -> str:
+    """The canonical one-line text of a property (inverse of parsing)."""
+    if isinstance(prop, Fails):
+        return f"fails {format_property(prop.inner)}"
+    if isinstance(prop, AlwaysConsensusOf):
+        return f"always consensus of {prop.predicate}"
+    if isinstance(prop, AlwaysConsensusValue):
+        if prop.when is None:
+            return f"always consensus {prop.value}"
+        return f"always consensus {prop.value} when {prop.when}"
+    if isinstance(prop, EventuallySilent):
+        return "eventually silent"
+    if isinstance(prop, NeverReaches):
+        return f"never reaches {prop.state}"
+    if isinstance(prop, StableConsensus):
+        return f"stable consensus {prop.value} from {prop.from_size}"
+    if isinstance(prop, UsuallyConsensus):
+        return (
+            f"usually consensus {prop.value} given {prop.input_text} "
+            f"within {_format_number(prop.within)} rate >= {_format_number(prop.rate)}"
+        )
+    if isinstance(prop, Certified):
+        return f"certified section {prop.section}"
+    raise TypeError(f"unknown property {prop!r}")
+
+
+def format_checks(checks: Sequence[Check]) -> str:
+    """Render checks back into canonical ``check { ... }`` text."""
+    lines = ["check {"]
+    for check in checks:
+        lines.append(f"    {check.name} = {format_property(check.prop)}")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Parsing
+# ----------------------------------------------------------------------
+
+
+class _Words:
+    """Whitespace tokens of one entry line, with column positions."""
+
+    def __init__(self, text: str, line: int):
+        self.text = text
+        self.line = line
+        self.tokens = [
+            (match.group(), match.start()) for match in re.finditer(r"\S+", text)
+        ]
+        self.index = 0
+
+    def error(self, message: str, column: Optional[int] = None) -> ScenarioSyntaxError:
+        if column is None:
+            column = self.tokens[self.index][1] if self.index < len(self.tokens) else len(self.text)
+        return ScenarioSyntaxError(message, self.line, column + 1)
+
+    def peek(self) -> Optional[str]:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index][0]
+        return None
+
+    def take(self, expected: Optional[str] = None, what: str = "word") -> Tuple[str, int]:
+        if self.index >= len(self.tokens):
+            want = expected or what
+            raise self.error(f"expected {want!r} but the line ended")
+        word, column = self.tokens[self.index]
+        if expected is not None and word != expected:
+            raise self.error(f"expected {expected!r} but found {word!r}")
+        self.index += 1
+        return word, column
+
+    def rest(self) -> Tuple[str, int]:
+        """The raw remainder of the line from the next token onwards."""
+        if self.index >= len(self.tokens):
+            raise self.error("expected a predicate but the line ended")
+        column = self.tokens[self.index][1]
+        self.index = len(self.tokens)
+        return self.text[column:], column
+
+    def done(self) -> None:
+        if self.index < len(self.tokens):
+            word, column = self.tokens[self.index]
+            raise self.error(f"trailing input starting at {word!r}", column)
+
+
+def _take_consensus_value(words: _Words) -> int:
+    word, column = words.take(what="consensus value")
+    if word not in ("0", "1"):
+        raise words.error(f"consensus value must be 0 or 1, got {word!r}", column)
+    return int(word)
+
+
+def _take_number(words: _Words, what: str) -> float:
+    word, column = words.take(what=what)
+    if not _NUMBER_RE.fullmatch(word):
+        raise words.error(f"expected {what} but found {word!r}", column)
+    return float(word)
+
+
+def _take_predicate(words: _Words) -> str:
+    text, column = words.rest()
+    try:
+        parse_predicate(text)
+    except PredicateSyntaxError as error:
+        raise ScenarioSyntaxError(f"bad predicate: {error}", words.line, column + 1)
+    return _normalise(text)
+
+
+def _parse_property(words: _Words) -> Property:
+    head = words.peek()
+    if head == "fails":
+        words.take("fails")
+        inner = _parse_property(words)
+        if isinstance(inner, Fails):
+            raise words.error("'fails' cannot be nested")
+        return Fails(inner)
+    if head == "always":
+        words.take("always")
+        words.take("consensus")
+        nxt = words.peek()
+        if nxt == "of":
+            words.take("of")
+            return AlwaysConsensusOf(_take_predicate(words))
+        value = _take_consensus_value(words)
+        if words.peek() == "when":
+            words.take("when")
+            return AlwaysConsensusValue(value, _take_predicate(words))
+        words.done()
+        return AlwaysConsensusValue(value)
+    if head == "eventually":
+        words.take("eventually")
+        words.take("silent")
+        words.done()
+        return EventuallySilent()
+    if head == "never":
+        words.take("never")
+        words.take("reaches")
+        state, column = words.take(what="state name")
+        if not _STATE_RE.fullmatch(state):
+            raise words.error(f"invalid state name {state!r}", column)
+        words.done()
+        return NeverReaches(state)
+    if head == "stable":
+        words.take("stable")
+        words.take("consensus")
+        value = _take_consensus_value(words)
+        words.take("from")
+        size_word, column = words.take(what="population size")
+        if not size_word.isdigit() or int(size_word) < 1:
+            raise words.error(f"population size must be a positive integer, got {size_word!r}", column)
+        words.done()
+        return StableConsensus(value, int(size_word))
+    if head == "usually":
+        words.take("usually")
+        words.take("consensus")
+        value = _take_consensus_value(words)
+        words.take("given")
+        spec, column = words.take(what="input assignment")
+        if not _INPUT_RE.fullmatch(spec):
+            raise words.error(
+                f"malformed input assignment {spec!r} (want var=count,...)", column
+            )
+        inputs = tuple(
+            (part.partition("=")[0], int(part.partition("=")[2]))
+            for part in spec.split(",")
+        )
+        if len(dict(inputs)) != len(inputs):
+            raise words.error(f"duplicate variable in input {spec!r}", column)
+        words.take("within")
+        within = _take_number(words, "time budget")
+        words.take("rate")
+        words.take(">=")
+        rate_column = words.tokens[words.index][1] if words.index < len(words.tokens) else None
+        rate = _take_number(words, "rate bound")
+        if not 0.0 <= rate <= 1.0:
+            raise words.error(f"rate must be within [0, 1], got {rate}", rate_column)
+        if not within > 0:
+            raise words.error(f"time budget must be positive, got {within}")
+        words.done()
+        return UsuallyConsensus(value, inputs, within, rate)
+    if head == "certified":
+        words.take("certified")
+        words.take("section")
+        section, column = words.take(what="section number")
+        if section not in ("4", "5"):
+            raise words.error(f"certificate section must be 4 or 5, got {section!r}", column)
+        words.done()
+        return Certified(int(section))
+    if head is None:
+        raise words.error("expected a property")
+    raise words.error(
+        f"unknown property {head!r} (want always / eventually / never / "
+        "stable / usually / certified / fails)"
+    )
+
+
+def _strip_comment(line: str) -> str:
+    position = line.find("#")
+    if position >= 0:
+        return line[:position]
+    return line
+
+
+def parse_checks(text: str) -> Tuple[Check, ...]:
+    """Parse one ``check { ... }`` block into a tuple of :class:`Check`.
+
+    Raises :class:`ScenarioSyntaxError` (with 1-based line / column
+    positions) on malformed input.
+    """
+    lines = text.splitlines()
+    significant = [
+        (number, _strip_comment(raw))
+        for number, raw in enumerate(lines, start=1)
+        if _strip_comment(raw).strip()
+    ]
+    if not significant:
+        raise ScenarioSyntaxError("expected a 'check {' block", 1, 1)
+
+    number, header = significant[0]
+    words = _Words(header, number)
+    words.take("check")
+    words.take("{")
+    words.done()
+
+    checks = []
+    seen = {}
+    closed = False
+    for number, raw in significant[1:]:
+        stripped = raw.strip()
+        if closed:
+            raise ScenarioSyntaxError(
+                f"trailing input after '}}': {stripped!r}", number, raw.index(stripped[0]) + 1
+            )
+        if stripped == "}":
+            closed = True
+            continue
+        words = _Words(raw, number)
+        name, column = words.take(what="check name")
+        if not _NAME_RE.fullmatch(name):
+            raise words.error(f"invalid check name {name!r}", column)
+        if name in seen:
+            raise words.error(
+                f"duplicate check name {name!r} (first defined on line {seen[name]})", column
+            )
+        seen[name] = number
+        words.take("=")
+        prop = _parse_property(words)
+        checks.append(Check(name, prop))
+    if not closed:
+        raise ScenarioSyntaxError(
+            "unterminated check block (missing '}')", len(lines) or 1, 1
+        )
+    return tuple(checks)

@@ -1,0 +1,328 @@
+"""The scenario property-check DSL: parser, formatter, and their round trip.
+
+Three layers:
+
+* **golden parses** — exact ASTs for representative ``check`` blocks,
+  including every property form and the ``fails`` modifier;
+* **rejection tests** — malformed blocks raise
+  :class:`~repro.scenarios.ScenarioSyntaxError` with useful 1-based
+  line/column positions in the message;
+* **hypothesis round trip** — ``parse(format(checks)) == checks`` and
+  formatting is idempotent over randomly generated check blocks.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.scenarios import (
+    SCENARIOS,
+    AlwaysConsensusOf,
+    AlwaysConsensusValue,
+    Certified,
+    Check,
+    EventuallySilent,
+    Fails,
+    NeverReaches,
+    ScenarioSyntaxError,
+    StableConsensus,
+    UsuallyConsensus,
+    format_checks,
+    format_property,
+    parse_checks,
+)
+
+
+# ----------------------------------------------------------------------
+# Golden parses
+# ----------------------------------------------------------------------
+
+
+class TestGoldenParses:
+    def test_every_property_form(self):
+        text = """
+        check {
+            A = always consensus of x - y >= 1
+            B = always consensus 1
+            C = always consensus 0 when x = 0
+            D = eventually silent
+            E = never reaches L2
+            F = stable consensus 1 from 4
+            G = usually consensus 1 given x=14,y=6 within 400 rate >= 0.6
+            H = certified section 4
+            I = fails always consensus 1 when x - y >= 1 and y >= 1
+        }
+        """
+        assert parse_checks(text) == (
+            Check("A", AlwaysConsensusOf("x - y >= 1")),
+            Check("B", AlwaysConsensusValue(1)),
+            Check("C", AlwaysConsensusValue(0, "x = 0")),
+            Check("D", EventuallySilent()),
+            Check("E", NeverReaches("L2")),
+            Check("F", StableConsensus(1, 4)),
+            Check("G", UsuallyConsensus(1, (("x", 14), ("y", 6)), 400.0, 0.6)),
+            Check("H", Certified(4)),
+            Check("I", Fails(AlwaysConsensusValue(1, "x - y >= 1 and y >= 1"))),
+        )
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = """
+        # leading comment
+        check {
+
+            Silent = eventually silent   # trailing comment
+        }
+        """
+        assert parse_checks(text) == (Check("Silent", EventuallySilent()),)
+
+    def test_state_names_need_not_be_identifiers(self):
+        # Protocol states are arbitrary strings; "0" is a real state of
+        # the double-exp and leroux families and renamings may permute
+        # any state onto it.
+        for state in ("0", "L2", "v0"):
+            (check,) = parse_checks(f"check {{\n A = never reaches {state}\n}}")
+            assert check.prop == NeverReaches(state)
+
+    def test_predicate_whitespace_normalised(self):
+        (check,) = parse_checks("check {\n A = always consensus of x    -  y >= 1\n}")
+        assert check.prop == AlwaysConsensusOf("x - y >= 1")
+
+    def test_library_sources_parse_to_registered_checks(self):
+        # The registry stores both the DSL text and its parse; they must agree.
+        for scenario in SCENARIOS.values():
+            for instance in scenario.instances:
+                assert parse_checks(instance.checks_source) == instance.checks
+
+    def test_format_renders_canonical_block(self):
+        checks = (
+            Check("Silent", EventuallySilent()),
+            Check("NoPoison", NeverReaches("L2")),
+        )
+        assert format_checks(checks) == (
+            "check {\n"
+            "    Silent = eventually silent\n"
+            "    NoPoison = never reaches L2\n"
+            "}\n"
+        )
+
+
+# ----------------------------------------------------------------------
+# Rejection with positions
+# ----------------------------------------------------------------------
+
+
+def _error(text: str) -> ScenarioSyntaxError:
+    with pytest.raises(ScenarioSyntaxError) as excinfo:
+        parse_checks(text)
+    return excinfo.value
+
+
+class TestRejection:
+    def test_missing_header(self):
+        error = _error("checks {\n}\n")
+        assert "expected 'check'" in str(error)
+        assert error.line == 1
+
+    def test_empty_input(self):
+        error = _error("   \n  # only comments\n")
+        assert "expected a 'check {' block" in str(error)
+
+    def test_unterminated_block(self):
+        error = _error("check {\n A = eventually silent\n")
+        assert "unterminated" in str(error)
+
+    def test_trailing_input_after_close(self):
+        error = _error("check {\n}\nA = eventually silent\n")
+        assert "trailing input" in str(error)
+        assert error.line == 3
+
+    def test_unknown_property(self):
+        error = _error("check {\n A = sometimes silent\n}")
+        assert "unknown property 'sometimes'" in str(error)
+        assert error.line == 2
+        assert error.column == 6  # points at 'sometimes', 1-based
+
+    def test_bad_consensus_value(self):
+        error = _error("check {\n A = always consensus 2\n}")
+        assert "consensus value must be 0 or 1" in str(error)
+        assert error.line == 2
+
+    def test_bad_predicate_position(self):
+        error = _error("check {\n A = always consensus of x >>= 1\n}")
+        assert "bad predicate" in str(error)
+        assert error.line == 2
+        # Column points at the start of the predicate text.
+        assert error.column == 26
+
+    def test_duplicate_name(self):
+        error = _error(
+            "check {\n A = eventually silent\n A = eventually silent\n}"
+        )
+        assert "duplicate check name 'A'" in str(error)
+        assert "line 2" in str(error)
+        assert error.line == 3
+
+    def test_nested_fails(self):
+        error = _error("check {\n A = fails fails eventually silent\n}")
+        assert "'fails' cannot be nested" in str(error)
+
+    def test_rate_out_of_range(self):
+        error = _error(
+            "check {\n A = usually consensus 1 given x=4 within 10 rate >= 1.5\n}"
+        )
+        assert "rate must be within [0, 1]" in str(error)
+
+    def test_malformed_input_assignment(self):
+        error = _error(
+            "check {\n A = usually consensus 1 given x=4,y within 10 rate >= 0.5\n}"
+        )
+        assert "malformed input assignment" in str(error)
+
+    def test_duplicate_input_variable(self):
+        error = _error(
+            "check {\n A = usually consensus 1 given x=4,x=2 within 10 rate >= 0.5\n}"
+        )
+        assert "duplicate variable" in str(error)
+
+    def test_trailing_words_after_property(self):
+        error = _error("check {\n A = eventually silent now\n}")
+        assert "trailing input" in str(error)
+        assert error.line == 2
+
+    def test_bad_section(self):
+        error = _error("check {\n A = certified section 6\n}")
+        assert "section must be 4 or 5" in str(error)
+
+    def test_missing_equals(self):
+        error = _error("check {\n A eventually silent\n}")
+        assert "expected '='" in str(error)
+
+    def test_line_ends_mid_property(self):
+        error = _error("check {\n A = never reaches\n}")
+        assert "the line ended" in str(error)
+
+    def test_invalid_check_name(self):
+        error = _error("check {\n 9lives = eventually silent\n}")
+        assert "invalid check name" in str(error)
+
+    def test_invalid_state_name(self):
+        error = _error("check {\n A = never reaches {0}\n}")
+        assert "invalid state name" in str(error)
+        assert error.line == 2
+
+
+# ----------------------------------------------------------------------
+# AST constructor validation (mirrors the parser's guards)
+# ----------------------------------------------------------------------
+
+
+class TestConstructorGuards:
+    def test_bad_predicate_rejected(self):
+        with pytest.raises(ValueError):
+            AlwaysConsensusOf("x >>= 1")
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(ValueError):
+            AlwaysConsensusValue(2)
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            UsuallyConsensus(1, (("x", 4),), 10.0, 1.5)
+
+    def test_empty_usually_input_rejected(self):
+        with pytest.raises(ValueError):
+            UsuallyConsensus(1, (), 10.0, 0.5)
+
+    def test_bad_section_rejected(self):
+        with pytest.raises(ValueError):
+            Certified(3)
+
+    def test_nested_fails_rejected(self):
+        with pytest.raises(ValueError):
+            Fails(Fails(EventuallySilent()))
+
+    def test_bad_state_name_rejected(self):
+        with pytest.raises(ValueError):
+            NeverReaches("two words")
+
+    def test_bad_check_name_rejected(self):
+        with pytest.raises(ValueError):
+            Check("not a name", EventuallySilent())
+
+
+# ----------------------------------------------------------------------
+# Hypothesis round trip
+# ----------------------------------------------------------------------
+
+_PREDICATES = st.sampled_from(
+    [
+        "x >= 4",
+        "x - y >= 1",
+        "x = 0",
+        "2*x + 3*y <= 7",
+        "x >= 5 and x = 0 (mod 2)",
+        "not (x >= 3) or y > 2",
+        "true",
+    ]
+)
+
+_NAMES = st.from_regex(r"[A-Za-z_][A-Za-z_0-9]{0,8}", fullmatch=True)
+
+_VALUES = st.sampled_from([0, 1])
+
+
+def _usually():
+    inputs = st.lists(
+        st.tuples(_NAMES, st.integers(min_value=0, max_value=50)),
+        min_size=1,
+        max_size=3,
+        unique_by=lambda pair: pair[0],
+    ).map(tuple)
+    # Bounded away from 0 and below 1e16 so repr() never uses exponent
+    # notation (the grammar's numbers are plain decimals).
+    within = st.one_of(
+        st.integers(min_value=1, max_value=10_000).map(float),
+        st.floats(min_value=0.25, max_value=1000.0, allow_nan=False),
+    )
+    rate = st.one_of(
+        st.sampled_from([0.0, 0.5, 1.0]),
+        st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+    )
+    return st.builds(UsuallyConsensus, _VALUES, inputs, within, rate)
+
+
+_BASE_PROPERTIES = st.one_of(
+    st.builds(AlwaysConsensusOf, _PREDICATES),
+    st.builds(AlwaysConsensusValue, _VALUES, st.none() | _PREDICATES),
+    st.just(EventuallySilent()),
+    st.builds(NeverReaches, st.one_of(_NAMES, st.sampled_from(["0", "L2", "v0", "r3"]))),
+    st.builds(StableConsensus, _VALUES, st.integers(min_value=1, max_value=20)),
+    _usually(),
+    st.builds(Certified, st.sampled_from([4, 5])),
+)
+
+_PROPERTIES = st.one_of(_BASE_PROPERTIES, st.builds(Fails, _BASE_PROPERTIES))
+
+_CHECK_BLOCKS = st.lists(
+    st.tuples(_NAMES, _PROPERTIES),
+    min_size=1,
+    max_size=6,
+    unique_by=lambda pair: pair[0],
+).map(lambda pairs: tuple(Check(name, prop) for name, prop in pairs))
+
+
+class TestRoundTrip:
+    @given(_CHECK_BLOCKS)
+    def test_parse_inverts_format(self, checks):
+        assert parse_checks(format_checks(checks)) == checks
+
+    @given(_CHECK_BLOCKS)
+    def test_format_idempotent(self, checks):
+        once = format_checks(checks)
+        assert format_checks(parse_checks(once)) == once
+
+    @given(_PROPERTIES)
+    def test_property_text_single_line(self, prop):
+        assert "\n" not in format_property(prop)
